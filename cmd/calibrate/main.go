@@ -1,0 +1,77 @@
+// Command calibrate regenerates the paper's measured machine-dependent
+// functions on the simulated hardware: Fig. 1(a), the disk transfer time
+// per block (dttr/dttw) versus band size, and Fig. 1(b), the memory
+// mapping setup times (newMap/openMap/deleteMap) versus mapping size.
+//
+// Usage:
+//
+//	calibrate [-fig 1a|1b|all] [-ops N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mmjoin/internal/disk"
+	"mmjoin/internal/machine"
+	"mmjoin/internal/model"
+	"mmjoin/internal/seg"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 1a, 1b, or all")
+	ops := flag.Int("ops", 3000, "random I/Os measured per band size (1a)")
+	seed := flag.Int64("seed", 1, "random seed for access patterns")
+	jsonOut := flag.String("json", "", "also write the full calibration to this file (for optimizers)")
+	flag.Parse()
+
+	cfg := machine.DefaultConfig()
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "calibrate:", err)
+			os.Exit(1)
+		}
+		calib := model.Calibrate(cfg, *ops, *seed)
+		if err := calib.Write(f); err != nil {
+			fmt.Fprintln(os.Stderr, "calibrate:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("calibration written to %s\n\n", *jsonOut)
+	}
+	switch *fig {
+	case "1a":
+		fig1a(cfg, *ops, *seed)
+	case "1b":
+		fig1b(cfg)
+	case "all":
+		fig1a(cfg, *ops, *seed)
+		fmt.Println()
+		fig1b(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "calibrate: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func fig1a(cfg machine.Config, ops int, seed int64) {
+	fmt.Println("Fig 1(a): disk transfer time (ms per 4K block) vs band size")
+	fmt.Println("band(blocks)    dttr      dttw")
+	for _, pt := range disk.MeasureDTT(cfg.Disk, disk.StandardBands, ops, seed) {
+		fmt.Printf("%12d  %6.2f    %6.2f\n", pt.Band, pt.Read.Milliseconds(), pt.Write.Milliseconds())
+	}
+}
+
+func fig1b(cfg machine.Config) {
+	fmt.Println("Fig 1(b): memory mapping setup time (s) vs map size")
+	fmt.Println("size(blocks)    newMap   openMap   deleteMap")
+	for _, pt := range seg.MeasureSetup(cfg.Disk, cfg.Setup, seg.StandardSetupSizes) {
+		if pt.Pages < 1600 {
+			continue // the paper plots 1600-12800
+		}
+		fmt.Printf("%12d  %7.2f  %8.2f  %9.2f\n",
+			pt.Pages, pt.New.Seconds(), pt.Open.Seconds(), pt.Delete.Seconds())
+	}
+}

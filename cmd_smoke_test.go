@@ -1,0 +1,108 @@
+package mmjoin
+
+// End-to-end smoke tests of the command-line tools: each binary is built
+// once and driven with small configurations, checking flag parsing and
+// headline output. Skipped under -short.
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmd compiles ./cmd/<name> into a temp dir and returns the binary
+// path.
+func buildCmd(t *testing.T, name string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("cmd smoke test")
+	}
+	bin := filepath.Join(t.TempDir(), name)
+	out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+name).CombinedOutput()
+	if err != nil {
+		t.Fatalf("build %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func runCmd(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCmdCalibrateSmoke(t *testing.T) {
+	bin := buildCmd(t, "calibrate")
+	out := runCmd(t, bin, "-fig", "1b")
+	for _, want := range []string{"newMap", "openMap", "deleteMap", "12800"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	out = runCmd(t, bin, "-fig", "1a", "-ops", "300")
+	if !strings.Contains(out, "dttr") || !strings.Contains(out, "dttw") {
+		t.Errorf("fig 1a output:\n%s", out)
+	}
+	// Unknown figure fails.
+	if err := exec.Command(bin, "-fig", "9z").Run(); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestCmdSweepSmoke(t *testing.T) {
+	bin := buildCmd(t, "sweep")
+	out := runCmd(t, bin, "-fig", "5b", "-objects", "8000")
+	if !strings.Contains(out, "sort-merge") || !strings.Contains(out, "NPASS") {
+		t.Errorf("fig 5b output:\n%s", out)
+	}
+	out = runCmd(t, bin, "-fig", "contention", "-objects", "8000")
+	if !strings.Contains(out, "staggered") || !strings.Contains(out, "naive") {
+		t.Errorf("contention output:\n%s", out)
+	}
+	out = runCmd(t, bin, "-fig", "dist", "-objects", "8000")
+	if !strings.Contains(out, "zipf") {
+		t.Errorf("dist output:\n%s", out)
+	}
+}
+
+func TestCmdJoinsimSmoke(t *testing.T) {
+	bin := buildCmd(t, "joinsim")
+	out := runCmd(t, bin, "-alg", "grace", "-objects", "8000", "-mem-frac", "0.05", "-trace")
+	for _, want := range []string{"experiment:", "model breakdown", "per-process timeline", "K="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	out = runCmd(t, bin, "-alg", "sort-merge", "-objects", "8000", "-policy", "fifo", "-dist", "local")
+	if !strings.Contains(out, "IRUN=") {
+		t.Errorf("sort-merge output:\n%s", out)
+	}
+	if err := exec.Command(bin, "-alg", "nope").Run(); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestCmdMmdbSmoke(t *testing.T) {
+	bin := buildCmd(t, "mmdb")
+	dir := filepath.Join(t.TempDir(), "db")
+	out := runCmd(t, bin, "create", "-dir", dir, "-objects", "8000")
+	if !strings.Contains(out, "created") {
+		t.Errorf("create output:\n%s", out)
+	}
+	out = runCmd(t, bin, "join", "-dir", dir)
+	if strings.Contains(out, "MISMATCH") || !strings.Contains(out, "hybrid-hash") {
+		t.Errorf("join output:\n%s", out)
+	}
+	out = runCmd(t, bin, "bench", "-dir", dir, "-runs", "1")
+	if !strings.Contains(out, "best of 1") {
+		t.Errorf("bench output:\n%s", out)
+	}
+	// Missing -dir fails.
+	if err := exec.Command(bin, "join").Run(); err == nil {
+		t.Error("missing -dir accepted")
+	}
+}

@@ -1,0 +1,12 @@
+// Package mmjoin reproduces Buhr, Goel, Nishimura and Ragde, "Parallel
+// Pointer-Based Join Algorithms in Memory Mapped Environments" (ICDE
+// 1996): three parallel pointer-based join algorithms for single-level
+// stores, a validated analytical performance model, a discrete-event
+// simulation of the paper's testbed that stands in for the original
+// Sequent Symmetry hardware, and a real mmap(2)-backed segment store.
+//
+// See README.md for an overview, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-measured record. The benchmarks in
+// bench_test.go regenerate every table and figure of the paper's
+// evaluation.
+package mmjoin

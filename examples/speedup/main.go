@@ -1,0 +1,54 @@
+// Speedup: the scalability study the paper lists as future work (§9) —
+// how the three parallel pointer-based joins behave as disks and process
+// pairs are added, with the problem size fixed (speedup) and with the
+// problem growing proportionally (scaleup), on the simulated machine.
+//
+// Run with: go run ./examples/speedup
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mmjoin/internal/core"
+	"mmjoin/internal/join"
+	"mmjoin/internal/machine"
+	"mmjoin/internal/relation"
+)
+
+func main() {
+	cfg := machine.DefaultConfig()
+	spec := relation.DefaultSpec()
+	spec.NR, spec.NS = 32000, 32000
+	ds := []int{1, 2, 4, 8}
+
+	fmt.Printf("speedup: |R|=|S|=%d fixed, memory 0.05·|R| per process\n", spec.NR)
+	fmt.Printf("%-12s %10s %10s %10s %10s\n", "", "D=1", "D=2", "D=4", "D=8")
+	for _, alg := range []join.Algorithm{join.NestedLoops, join.SortMerge, join.Grace} {
+		times, err := core.Speedup(cfg, spec, alg, ds, 0.05)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s", alg)
+		for _, d := range ds {
+			fmt.Printf(" %7.1fs", times[d].Seconds())
+		}
+		fmt.Printf("   (%.2fx at D=8)\n", float64(times[1])/float64(times[8]))
+	}
+
+	per := spec.NR / 4
+	fmt.Printf("\nscaleup: %d objects per partition, relation grows with D (memory 0.1·|R|)\n", per)
+	fmt.Printf("%-12s %10s %10s %10s %10s\n", "", "D=1", "D=2", "D=4", "D=8")
+	for _, alg := range []join.Algorithm{join.NestedLoops, join.SortMerge, join.Grace} {
+		times, err := core.Scaleup(cfg, spec, alg, ds, per, 0.1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s", alg)
+		for _, d := range ds {
+			fmt.Printf(" %7.1fs", times[d].Seconds())
+		}
+		fmt.Printf("   (ratio %.2f at D=8; 1.0 is perfect)\n",
+			float64(times[8])/float64(times[1]))
+	}
+}

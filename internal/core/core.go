@@ -1,0 +1,293 @@
+// Package core is the library's top-level API: it assembles a workload,
+// calibrates the machine's measured functions, executes the parallel
+// pointer-based join algorithms on the simulated memory-mapped machine,
+// evaluates the analytical model for the same configuration, and compares
+// the two — the paper's model-validation methodology (§8) as a reusable
+// component, including the memory sweeps behind Fig. 5.
+package core
+
+import (
+	"fmt"
+
+	"mmjoin/internal/join"
+	"mmjoin/internal/machine"
+	"mmjoin/internal/model"
+	"mmjoin/internal/relation"
+	"mmjoin/internal/sim"
+)
+
+// Experiment couples a machine configuration, a generated workload, and
+// the machine's calibration. It is safe for sequential reuse across many
+// Measure/Predict calls (each Measure builds a fresh simulated machine).
+type Experiment struct {
+	Cfg   machine.Config
+	Spec  relation.Spec
+	W     *relation.Workload
+	Calib model.Calibration
+}
+
+// CalibrationOps is the default calibration effort (random I/Os measured
+// per band size).
+const CalibrationOps = 2000
+
+// NewExperiment generates the workload and calibrates the machine.
+func NewExperiment(cfg machine.Config, spec relation.Spec) (*Experiment, error) {
+	if cfg.D != spec.D {
+		return nil, fmt.Errorf("core: machine D=%d but workload D=%d", cfg.D, spec.D)
+	}
+	w, err := relation.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Experiment{
+		Cfg:   cfg,
+		Spec:  spec,
+		W:     w,
+		Calib: model.Calibrate(cfg, CalibrationOps, spec.Seed),
+	}, nil
+}
+
+// MustNewExperiment is NewExperiment, panicking on error.
+func MustNewExperiment(cfg machine.Config, spec relation.Spec) *Experiment {
+	e, err := NewExperiment(cfg, spec)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// TotalRBytes returns |R|·r, the denominator of the paper's memory axis.
+func (e *Experiment) TotalRBytes() int64 {
+	return int64(e.Spec.NR) * int64(e.Spec.RSize)
+}
+
+// ParamsForFraction builds join parameters giving each Rproc (and Sproc)
+// frac·|R|·r bytes of private memory — one point on the Fig. 5 x-axis.
+func (e *Experiment) ParamsForFraction(frac float64) join.Params {
+	return join.Params{
+		Workload: e.W,
+		MRproc:   int64(frac * float64(e.TotalRBytes())),
+		Stagger:  true,
+	}
+}
+
+// Measure executes the algorithm on a fresh simulated machine.
+func (e *Experiment) Measure(alg join.Algorithm, prm join.Params) (*join.Result, error) {
+	if prm.Workload == nil {
+		prm.Workload = e.W
+	}
+	return join.Run(alg, e.Cfg, prm)
+}
+
+// Inputs converts join parameters into model inputs, using the measured
+// workload skew.
+func (e *Experiment) Inputs(prm join.Params) model.Inputs {
+	maxDistinct := 0
+	for _, n := range e.W.DistinctRefCounts() {
+		if n > maxDistinct {
+			maxDistinct = n
+		}
+	}
+	return model.Inputs{
+		NR: int64(e.Spec.NR), NS: int64(e.Spec.NS),
+		R: int64(e.Spec.RSize), S: int64(e.Spec.SSize), Ptr: int64(e.Spec.PtrSize),
+		D:         e.Spec.D,
+		Skew:      e.W.Skew(),
+		DistinctS: int64(maxDistinct),
+		MRproc:    prm.MRproc, MSproc: prm.MSproc, G: prm.G,
+		IRun: prm.IRun, NRunABL: prm.NRunABL, NRunLast: prm.NRunLast,
+		K: prm.K, TSize: prm.TSize, Fuzz: prm.Fuzz,
+	}
+}
+
+// Predict evaluates the analytical model for the same configuration.
+func (e *Experiment) Predict(alg join.Algorithm, prm join.Params) (*model.Prediction, error) {
+	in := e.Inputs(prm)
+	switch alg {
+	case join.NestedLoops:
+		return model.PredictNestedLoops(e.Calib, in)
+	case join.SortMerge:
+		return model.PredictSortMerge(e.Calib, in)
+	case join.Grace:
+		return model.PredictGrace(e.Calib, in)
+	case join.HybridHash:
+		return model.PredictHybridHash(e.Calib, in)
+	case join.TraditionalGrace:
+		return model.PredictTraditionalGrace(e.Calib, in)
+	}
+	return nil, fmt.Errorf("core: unknown algorithm %v", alg)
+}
+
+// Comparison is one model-vs-experiment data point.
+type Comparison struct {
+	Algorithm  join.Algorithm
+	MemFrac    float64 // MRproc / (|R|·r)
+	Measured   sim.Time
+	Predicted  sim.Time
+	Result     *join.Result
+	Prediction *model.Prediction
+}
+
+// RelError returns (predicted−measured)/measured.
+func (c Comparison) RelError() float64 {
+	if c.Measured == 0 {
+		return 0
+	}
+	return float64(c.Predicted-c.Measured) / float64(c.Measured)
+}
+
+// Compare measures and predicts one configuration.
+func (e *Experiment) Compare(alg join.Algorithm, prm join.Params) (*Comparison, error) {
+	res, err := e.Measure(alg, prm)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := e.Predict(alg, prm)
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{
+		Algorithm:  alg,
+		MemFrac:    float64(prm.MRproc) / float64(e.TotalRBytes()),
+		Measured:   res.Elapsed,
+		Predicted:  pred.Total,
+		Result:     res,
+		Prediction: pred,
+	}, nil
+}
+
+// Fig5Fractions returns the memory fractions of the paper's Fig. 5 panel
+// for the given algorithm.
+func Fig5Fractions(alg join.Algorithm) []float64 {
+	switch alg {
+	case join.NestedLoops:
+		return []float64{0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50, 0.55, 0.60, 0.65, 0.70}
+	case join.SortMerge:
+		return []float64{0.010, 0.015, 0.020, 0.025, 0.030, 0.035, 0.040, 0.045, 0.050}
+	case join.HybridHash:
+		return []float64{0.008, 0.010, 0.015, 0.020, 0.030, 0.040, 0.050, 0.060, 0.070, 0.080}
+	case join.Grace:
+		// The paper's panel spans 0.02–0.08; lower fractions are
+		// included because this machine's LRU pager thrashes later than
+		// Dynix's simple replacement did, so the knee of Fig. 5(c)
+		// appears below 0.02 here.
+		return []float64{0.008, 0.010, 0.015, 0.020, 0.030, 0.040, 0.050, 0.060, 0.070, 0.080}
+	}
+	return nil
+}
+
+// SweepMemory runs Compare across the given memory fractions (Fig. 5's
+// procedure). A nil fracs selects the paper's panel for the algorithm.
+func (e *Experiment) SweepMemory(alg join.Algorithm, fracs []float64) ([]Comparison, error) {
+	if fracs == nil {
+		fracs = Fig5Fractions(alg)
+	}
+	out := make([]Comparison, 0, len(fracs))
+	for _, f := range fracs {
+		cmp, err := e.Compare(alg, e.ParamsForFraction(f))
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep at %.3f: %w", f, err)
+		}
+		out = append(out, *cmp)
+	}
+	return out, nil
+}
+
+// Speedup runs the algorithm at several degrees of parallelism D with the
+// problem size fixed, returning elapsed times keyed by D — the paper's
+// planned speedup experiment (§9).
+func Speedup(base machine.Config, spec relation.Spec, alg join.Algorithm,
+	ds []int, memFrac float64) (map[int]sim.Time, error) {
+	out := make(map[int]sim.Time, len(ds))
+	for _, d := range ds {
+		cfg := base
+		cfg.D = d
+		sp := spec
+		sp.D = d
+		w, err := relation.Generate(sp)
+		if err != nil {
+			return nil, err
+		}
+		mem := int64(memFrac * float64(int64(sp.NR)*int64(sp.RSize)))
+		res, err := join.Run(alg, cfg, join.Params{Workload: w, MRproc: mem, Stagger: true})
+		if err != nil {
+			return nil, err
+		}
+		out[d] = res.Elapsed
+	}
+	return out, nil
+}
+
+// Scaleup grows the problem with D (NR = NS = perPartition·D) and returns
+// elapsed times keyed by D; flat times mean perfect scaleup.
+func Scaleup(base machine.Config, spec relation.Spec, alg join.Algorithm,
+	ds []int, perPartition int, memFrac float64) (map[int]sim.Time, error) {
+	out := make(map[int]sim.Time, len(ds))
+	for _, d := range ds {
+		cfg := base
+		cfg.D = d
+		sp := spec
+		sp.D = d
+		sp.NR = perPartition * d
+		sp.NS = perPartition * d
+		w, err := relation.Generate(sp)
+		if err != nil {
+			return nil, err
+		}
+		mem := int64(memFrac * float64(int64(sp.NR)*int64(sp.RSize)))
+		res, err := join.Run(alg, cfg, join.Params{Workload: w, MRproc: mem, Stagger: true})
+		if err != nil {
+			return nil, err
+		}
+		out[d] = res.Elapsed
+	}
+	return out, nil
+}
+
+// DistPoint is one row of the reference-distribution study (§9 future
+// work: "changing the nature of the joining relations").
+type DistPoint struct {
+	Dist     relation.Distribution
+	Skew     float64
+	Measured map[join.Algorithm]sim.Time
+}
+
+// DistSweep runs every algorithm across reference distributions at the
+// given memory fraction, reporting measured times and workload skew.
+func DistSweep(cfg machine.Config, base relation.Spec, algs []join.Algorithm,
+	memFrac float64) ([]DistPoint, error) {
+	specs := []relation.Spec{base}
+	zipf := base
+	zipf.Dist = relation.Zipf
+	zipf.ZipfTheta = 1.5
+	local := base
+	local.Dist = relation.Local
+	local.LocalFrac = 0.8
+	hot := base
+	hot.Dist = relation.HotPartition
+	hot.HotFrac = 0.4
+	specs = append(specs, zipf, local, hot)
+
+	out := make([]DistPoint, 0, len(specs))
+	for _, spec := range specs {
+		w, err := relation.Generate(spec)
+		if err != nil {
+			return nil, err
+		}
+		mem := int64(memFrac * float64(int64(spec.NR)*int64(spec.RSize)))
+		pt := DistPoint{Dist: spec.Dist, Skew: w.Skew(), Measured: map[join.Algorithm]sim.Time{}}
+		wantSig, _ := w.JoinSignature()
+		for _, alg := range algs {
+			res, err := join.Run(alg, cfg, join.Params{Workload: w, MRproc: mem, Stagger: true})
+			if err != nil {
+				return nil, err
+			}
+			if res.Signature != wantSig {
+				return nil, fmt.Errorf("core: %v computed a wrong join under %v", alg, spec.Dist)
+			}
+			pt.Measured[alg] = res.Elapsed
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

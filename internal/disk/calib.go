@@ -1,0 +1,96 @@
+package disk
+
+import (
+	"math/rand"
+
+	"mmjoin/internal/sim"
+)
+
+// DTTPoint is one measured point of the disk-transfer-time function: the
+// average per-block cost of random reads (dttr) and random writes (dttw)
+// confined to a band of the given size, with the band itself swept
+// sequentially across a large disk area — the measurement procedure behind
+// the paper's Fig. 1(a).
+type DTTPoint struct {
+	Band  int // band size in blocks; 1 means purely sequential access
+	Read  sim.Time
+	Write sim.Time
+}
+
+// StandardBands are the band sizes sampled for Fig. 1(a) reproductions.
+var StandardBands = []int{1, 100, 400, 800, 1600, 3200, 4800, 6400, 8000, 9600, 11200, 12800}
+
+// MeasureDTT measures dttr/dttw for each band size on a fresh drive with
+// the given configuration. opsPerBand bounds the I/Os issued per band size
+// (more gives smoother averages). The measurement is deterministic for a
+// fixed seed.
+func MeasureDTT(cfg Config, bands []int, opsPerBand int, seed int64) []DTTPoint {
+	points := make([]DTTPoint, 0, len(bands))
+	for _, band := range bands {
+		points = append(points, DTTPoint{
+			Band:  band,
+			Read:  measureOne(cfg, band, opsPerBand, seed, false),
+			Write: measureOne(cfg, band, opsPerBand, seed+1, true),
+		})
+	}
+	return points
+}
+
+// measureOne measures the per-block cost of random access (without
+// duplicates) in sequential band positions across the drive.
+func measureOne(cfg Config, band, ops int, seed int64, write bool) sim.Time {
+	if band < 1 {
+		panic("disk: band must be >= 1")
+	}
+	k := sim.NewKernel()
+	d := MustNew(k, "calib", cfg)
+	rng := rand.New(rand.NewSource(seed))
+
+	area := cfg.Blocks / 2 // sweep the band across half the drive
+	if band > area {
+		band = area
+	}
+	perPosition := band
+	if perPosition > 256 {
+		perPosition = 256
+	}
+	positions := ops / perPosition
+	if positions < 1 {
+		positions = 1
+	}
+	maxPositions := area / band
+	if maxPositions < 1 {
+		maxPositions = 1
+	}
+	if positions > maxPositions {
+		positions = maxPositions
+	}
+
+	var total sim.Time
+	var count int64
+	k.Spawn("measure", func(p *sim.Proc) {
+		for pos := 0; pos < positions; pos++ {
+			// The band is swept sequentially across the area: with
+			// band size 1 the accesses are purely sequential.
+			base := pos * band
+			// Random access within the band, no duplicates.
+			offs := rng.Perm(band)[:perPosition]
+			start := p.Now()
+			for _, o := range offs {
+				if write {
+					d.ScheduleWrite(p, base+o)
+				} else {
+					d.Read(p, base+o)
+				}
+			}
+			if write {
+				d.Drain(p)
+			}
+			total += p.Now() - start
+			count += int64(perPosition)
+		}
+		d.Close()
+	})
+	k.Run()
+	return total / sim.Time(count)
+}

@@ -1,0 +1,362 @@
+package disk
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mmjoin/internal/sim"
+)
+
+func smallConfig() Config {
+	c := DefaultConfig()
+	c.Blocks = 20000
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{},
+		{BlockBytes: 4096},
+		{BlockBytes: 4096, Blocks: 100},
+		{BlockBytes: 4096, Blocks: 100, BlocksPerCylinder: 8},
+	}
+	for i, c := range bad {
+		k := sim.NewKernel()
+		if _, err := New(k, "d", c); err == nil {
+			t.Errorf("case %d: expected config error", i)
+		}
+	}
+	k := sim.NewKernel()
+	d, err := New(k, "d", DefaultConfig())
+	if err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	d.Close()
+	k.Run()
+}
+
+func TestSequentialReadCostsTransferOnly(t *testing.T) {
+	cfg := smallConfig()
+	k := sim.NewKernel()
+	d := MustNew(k, "d", cfg)
+	var second sim.Time
+	k.Spawn("r", func(p *sim.Proc) {
+		d.Read(p, 100)
+		start := p.Now()
+		d.Read(p, 101) // sequential continuation
+		second = p.Now() - start
+		d.Close()
+	})
+	k.Run()
+	if want := cfg.Transfer + cfg.FaultOverhead; second != want {
+		t.Errorf("sequential read cost %v, want %v", second, want)
+	}
+}
+
+func TestRandomReadCostsSeekPlusRotation(t *testing.T) {
+	cfg := smallConfig()
+	k := sim.NewKernel()
+	d := MustNew(k, "d", cfg)
+	var far sim.Time
+	k.Spawn("r", func(p *sim.Proc) {
+		d.Read(p, 0)
+		start := p.Now()
+		d.Read(p, cfg.Blocks-1) // full-stroke seek
+		far = p.Now() - start
+		d.Close()
+	})
+	k.Run()
+	want := cfg.SeekMax + cfg.Rotation/2 + cfg.Transfer + cfg.FaultOverhead
+	if far != want {
+		t.Errorf("full-stroke read cost %v, want %v", far, want)
+	}
+}
+
+func TestSameCylinderNoSeek(t *testing.T) {
+	cfg := smallConfig()
+	k := sim.NewKernel()
+	d := MustNew(k, "d", cfg)
+	var cost sim.Time
+	k.Spawn("r", func(p *sim.Proc) {
+		d.Read(p, 0)
+		start := p.Now()
+		d.Read(p, 5) // same cylinder (BlocksPerCylinder=64), not sequential
+		cost = p.Now() - start
+		d.Close()
+	})
+	k.Run()
+	want := cfg.Rotation/2 + cfg.Transfer + cfg.FaultOverhead
+	if cost != want {
+		t.Errorf("same-cylinder read cost %v, want %v", cost, want)
+	}
+}
+
+func TestReadOutOfRangePanics(t *testing.T) {
+	cfg := smallConfig()
+	k := sim.NewKernel()
+	d := MustNew(k, "d", cfg)
+	k.Spawn("r", func(p *sim.Proc) {
+		defer d.Close()
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for out-of-range block")
+			}
+		}()
+		d.Read(p, cfg.Blocks)
+	})
+	k.Run()
+}
+
+func TestScheduleWriteIsAsync(t *testing.T) {
+	cfg := smallConfig()
+	k := sim.NewKernel()
+	d := MustNew(k, "d", cfg)
+	var queued sim.Time
+	k.Spawn("w", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			d.ScheduleWrite(p, i*100)
+		}
+		queued = p.Now()
+		d.Drain(p)
+		if d.DirtyQueued() != 0 {
+			t.Errorf("DirtyQueued = %d after Drain", d.DirtyQueued())
+		}
+		d.Close()
+	})
+	end := k.Run()
+	if queued != 0 {
+		t.Errorf("queuing writes took %v, want 0 (deferred)", queued)
+	}
+	if end == 0 {
+		t.Error("flusher did no work")
+	}
+	if got := d.Stats().Writes; got != 10 {
+		t.Errorf("Writes = %d, want 10", got)
+	}
+}
+
+func TestDuplicateDirtyBlockCoalesced(t *testing.T) {
+	cfg := smallConfig()
+	k := sim.NewKernel()
+	d := MustNew(k, "d", cfg)
+	k.Spawn("w", func(p *sim.Proc) {
+		d.ScheduleWrite(p, 7)
+		d.ScheduleWrite(p, 7)
+		d.ScheduleWrite(p, 7)
+		d.Drain(p)
+		d.Close()
+	})
+	k.Run()
+	if got := d.Stats().Writes; got != 1 {
+		t.Errorf("Writes = %d, want 1 (coalesced)", got)
+	}
+}
+
+func TestWriteThrottling(t *testing.T) {
+	cfg := smallConfig()
+	cfg.WriteQueue = 4
+	cfg.WriteBatch = 2
+	k := sim.NewKernel()
+	d := MustNew(k, "d", cfg)
+	k.Spawn("w", func(p *sim.Proc) {
+		for i := 0; i < 50; i++ {
+			d.ScheduleWrite(p, i*37%cfg.Blocks)
+		}
+		d.Drain(p)
+		d.Close()
+	})
+	k.Run()
+	if d.Stats().Stalls == 0 {
+		t.Error("expected writer stalls with a tiny queue")
+	}
+	if d.Stats().Writes != 50 {
+		t.Errorf("Writes = %d, want 50", d.Stats().Writes)
+	}
+}
+
+func TestReadsInterleaveWithFlush(t *testing.T) {
+	// A reader should not wait for the whole dirty queue: the arm is
+	// acquired per block.
+	cfg := smallConfig()
+	k := sim.NewKernel()
+	d := MustNew(k, "d", cfg)
+	var readDone sim.Time
+	k.Spawn("w", func(p *sim.Proc) {
+		for i := 0; i < 100; i++ {
+			d.ScheduleWrite(p, (i*997)%cfg.Blocks)
+		}
+		d.Drain(p)
+		d.Close()
+	})
+	k.Spawn("r", func(p *sim.Proc) {
+		d.Read(p, 12345)
+		readDone = p.Now()
+	})
+	end := k.Run()
+	if readDone >= end {
+		t.Errorf("read finished at %v, end %v: no interleaving", readDone, end)
+	}
+}
+
+func TestDrainOnIdleDiskReturnsImmediately(t *testing.T) {
+	cfg := smallConfig()
+	k := sim.NewKernel()
+	d := MustNew(k, "d", cfg)
+	k.Spawn("p", func(p *sim.Proc) {
+		d.Drain(p)
+		d.Close()
+	})
+	if end := k.Run(); end != 0 {
+		t.Errorf("end = %v, want 0", end)
+	}
+}
+
+func TestSeekTimeMonotone(t *testing.T) {
+	cfg := smallConfig()
+	k := sim.NewKernel()
+	d := MustNew(k, "d", cfg)
+	d.Close()
+	k.Run()
+	prev := sim.Time(-1)
+	for dist := 0; dist < 200; dist += 10 {
+		st := d.seekTime(0, dist)
+		if st < prev {
+			t.Fatalf("seekTime not monotone at cylinder distance %d", dist)
+		}
+		prev = st
+	}
+	if d.seekTime(5, 5) != 0 {
+		t.Error("zero-distance seek should be free")
+	}
+}
+
+func TestNearestIndex(t *testing.T) {
+	blocks := []int{10, 20, 30}
+	cases := []struct{ pos, want int }{
+		{0, 0}, {10, 0}, {14, 0}, {16, 1}, {25, 0 + 1}, {26, 2}, {99, 2},
+	}
+	for _, c := range cases {
+		if got := nearestIndex(blocks, c.pos); got != c.want {
+			t.Errorf("nearestIndex(%d) = %d, want %d", c.pos, got, c.want)
+		}
+	}
+}
+
+func TestQuickNearestIndexIsNearest(t *testing.T) {
+	f := func(raw []uint16, pos uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		blocks := make([]int, 0, len(raw))
+		seen := map[int]bool{}
+		for _, r := range raw {
+			if !seen[int(r)] {
+				seen[int(r)] = true
+				blocks = append(blocks, int(r))
+			}
+		}
+		sortInts(blocks)
+		got := nearestIndex(blocks, int(pos))
+		best := -1
+		bestDist := 1 << 30
+		for i, b := range blocks {
+			d := b - int(pos)
+			if d < 0 {
+				d = -d
+			}
+			if d < bestDist {
+				bestDist = d
+				best = i
+			}
+		}
+		gd := blocks[got] - int(pos)
+		if gd < 0 {
+			gd = -gd
+		}
+		return gd == bestDist && best >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func TestMeasureDTTShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep")
+	}
+	cfg := DefaultConfig()
+	pts := MeasureDTT(cfg, []int{1, 1600, 12800}, 2000, 1)
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	seq, mid, big := pts[0], pts[1], pts[2]
+	// Sequential access is cheapest and read≈write.
+	if seq.Read >= mid.Read || mid.Read >= big.Read {
+		t.Errorf("dttr not increasing with band: %v %v %v", seq.Read, mid.Read, big.Read)
+	}
+	if seq.Write >= mid.Write || mid.Write >= big.Write {
+		t.Errorf("dttw not increasing with band: %v %v %v", seq.Write, mid.Write, big.Write)
+	}
+	// Deferred SSTF writes must be cheaper than reads for random bands.
+	if big.Write >= big.Read {
+		t.Errorf("dttw (%v) should be below dttr (%v) at large band", big.Write, big.Read)
+	}
+	// Rough magnitude check against the paper's Fig 1(a): single-digit ms
+	// sequential, tens of ms random.
+	if seq.Read < sim.Millisecond || seq.Read > 10*sim.Millisecond {
+		t.Errorf("sequential dttr %v out of the expected few-ms range", seq.Read)
+	}
+	if big.Read < 10*sim.Millisecond || big.Read > 40*sim.Millisecond {
+		t.Errorf("random dttr %v out of the expected tens-of-ms range", big.Read)
+	}
+}
+
+func TestMeasureDTTDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	a := MeasureDTT(cfg, []int{100}, 300, 42)
+	b := MeasureDTT(cfg, []int{100}, 300, 42)
+	if a[0] != b[0] {
+		t.Errorf("calibration not deterministic: %+v vs %+v", a[0], b[0])
+	}
+}
+
+func TestWriteAfterClosePanics(t *testing.T) {
+	cfg := smallConfig()
+	k := sim.NewKernel()
+	d := MustNew(k, "d", cfg)
+	k.Spawn("w", func(p *sim.Proc) {
+		d.Close()
+		defer func() {
+			if recover() == nil {
+				t.Error("ScheduleWrite after Close should panic")
+			}
+		}()
+		d.ScheduleWrite(p, 1)
+	})
+	k.Run()
+}
+
+func TestCloseIdempotentWithPendingWrites(t *testing.T) {
+	cfg := smallConfig()
+	k := sim.NewKernel()
+	d := MustNew(k, "d", cfg)
+	k.Spawn("w", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			d.ScheduleWrite(p, i*100)
+		}
+		d.Close()
+		d.Close() // second close is harmless
+	})
+	k.Run()
+	if d.Stats().Writes != 5 {
+		t.Errorf("Writes = %d, want 5 (flusher drains before exiting)", d.Stats().Writes)
+	}
+}

@@ -1,0 +1,160 @@
+package join
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mmjoin/internal/machine"
+	"mmjoin/internal/relation"
+	"mmjoin/internal/sim"
+)
+
+func testRunner(t *testing.T, nr int) *runner {
+	t.Helper()
+	m, err := machine.New(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prm := smallParams(smallWorkload(nr, 77), 64<<10)
+	if err := prm.withDefaults(m.Cfg); err != nil {
+		t.Fatal(err)
+	}
+	return newRunner(m, prm)
+}
+
+func drainMachine(r *runner) {
+	for _, d := range r.m.Disk {
+		d.Close()
+	}
+	r.m.K.Run()
+}
+
+func TestGCap(t *testing.T) {
+	r := testRunner(t, 400)
+	// G = one 4K page; triple = r + ptr + s = 128+8+128 = 264 bytes.
+	if got := r.gCap(); got != 4096/264 {
+		t.Errorf("gCap = %d, want %d", got, 4096/264)
+	}
+	r.prm.G = 100 // smaller than one triple: at least 1
+	if got := r.gCap(); got != 1 {
+		t.Errorf("tiny G: gCap = %d", got)
+	}
+	drainMachine(r)
+}
+
+func TestSubLayoutSkipsOwnPartition(t *testing.T) {
+	r := testRunner(t, 400)
+	counts := r.w.SubCounts()
+	offsets, total := r.subLayout(1, counts)
+	if offsets[1] != -1 {
+		t.Errorf("own partition offset = %d, want -1", offsets[1])
+	}
+	// Offsets are increasing and total covers all foreign objects.
+	var sum int64
+	prev := int64(-1)
+	for j := 0; j < r.d; j++ {
+		if j == 1 {
+			continue
+		}
+		if offsets[j] <= prev {
+			t.Errorf("offsets not increasing at %d", j)
+		}
+		prev = offsets[j]
+		sum += int64(counts[1][j]) * r.r
+	}
+	if total != sum {
+		t.Errorf("total = %d, want %d", total, sum)
+	}
+	drainMachine(r)
+}
+
+func TestPhasePartitionCoversAllPartners(t *testing.T) {
+	r := testRunner(t, 400)
+	for _, stagger := range []bool{true, false} {
+		r.prm.Stagger = stagger
+		for i := 0; i < r.d; i++ {
+			seen := map[int]bool{}
+			for phase := 1; phase < r.d; phase++ {
+				j := r.phasePartition(i, phase)
+				if j == i {
+					t.Fatalf("stagger=%v: Rproc%d visits itself in phase %d", stagger, i, phase)
+				}
+				if seen[j] {
+					t.Fatalf("stagger=%v: Rproc%d visits %d twice", stagger, i, j)
+				}
+				seen[j] = true
+			}
+			if len(seen) != r.d-1 {
+				t.Fatalf("stagger=%v: Rproc%d visited %d partners", stagger, i, len(seen))
+			}
+		}
+	}
+	// Staggered: no two Rprocs share a partition within a phase.
+	r.prm.Stagger = true
+	for phase := 1; phase < r.d; phase++ {
+		used := map[int]bool{}
+		for i := 0; i < r.d; i++ {
+			j := r.phasePartition(i, phase)
+			if used[j] {
+				t.Fatalf("phase %d: partition %d visited twice", phase, j)
+			}
+			used[j] = true
+		}
+	}
+	drainMachine(r)
+}
+
+func TestGBufferFlushesAtCapacity(t *testing.T) {
+	r := testRunner(t, 400)
+	r.spawnSprocs()
+	capacity := r.gCap()
+	adds := capacity + 2
+	r.m.K.Spawn("driver", func(p *sim.Proc) {
+		gb := r.newGBuffer(0, 0)
+		for n := 0; n < adds; n++ {
+			gb.add(p, 0, int32(n), relation.SPtr{Part: 0, Index: int32(n)})
+		}
+		// One flush must have happened automatically at capacity.
+		if len(gb.pend) != adds-capacity {
+			t.Errorf("pending = %d, want %d", len(gb.pend), adds-capacity)
+		}
+		gb.flush(p)
+		if len(gb.pend) != 0 {
+			t.Errorf("pending after flush = %d", len(gb.pend))
+		}
+		gb.flush(p) // empty flush is a no-op
+		r.stopSprocs(p)
+		r.m.Shutdown(p)
+	})
+	r.m.K.Run()
+	if r.res.Pairs != int64(adds) {
+		t.Errorf("pairs = %d, want %d", r.res.Pairs, adds)
+	}
+	// Two exchanges happened: 2 dispatch + 2 resume context switches.
+	if r.res.ContextSwitches != 4 {
+		t.Errorf("context switches = %d, want 4", r.res.ContextSwitches)
+	}
+}
+
+// Property: the staggered schedule is a Latin-square-like permutation
+// for any D: each phase is a permutation of partitions with no fixed
+// points across all Rprocs.
+func TestQuickStaggerPermutation(t *testing.T) {
+	f := func(rawD uint8) bool {
+		d := int(rawD)%12 + 2
+		for phase := 1; phase < d; phase++ {
+			used := make([]bool, d)
+			for i := 0; i < d; i++ {
+				j := (i + phase) % d
+				if j == i || used[j] {
+					return false
+				}
+				used[j] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,288 @@
+package join
+
+import (
+	"fmt"
+
+	"mmjoin/internal/pheap"
+	"mmjoin/internal/seg"
+	"mmjoin/internal/sim"
+	"mmjoin/internal/vm"
+)
+
+// runSortMerge executes the parallel pointer-based sort-merge join (§6).
+// Passes 0 and 1 are the nested-loops partitioning passes except that all
+// objects are written out: Ri,i and every RPi,j land in RSj, the set of R
+// objects referencing Sj, staggered and synchronized per phase. Each RSi
+// is then sorted by the S-pointer with a multi-way merge sort (runs of
+// IRUN objects, fan-in NRUN), and the final merge pass reads Si
+// sequentially to compute the join.
+func (r *runner) runSortMerge() {
+	counts := r.w.SubCounts()
+	rsCounts := r.w.RSCounts()
+	r.spawnSprocs()
+	bar := sim.NewBarrier("sm-phase", r.d)
+
+	// Shared append state of the RSj partitions (one writer at a time
+	// thanks to the staggered, synchronized phases).
+	rsSeg := make([]*seg.Segment, r.d)
+	rsObjs := make([][]pendingJoin, r.d)
+	rsCursor := make([]int64, r.d) // appended objects
+
+	for i := 0; i < r.d; i++ {
+		i := i
+		r.m.K.Spawn(fmt.Sprintf("Rproc%d", i), func(p *sim.Proc) {
+			pg := vm.NewWithPolicy(fmt.Sprintf("Rproc%d", i), frames(r.prm.MRproc, r.b), r.prm.Policy)
+			mgr := r.m.Mgr[i]
+
+			// Setup: Ri, Si, then RSi, RPi, Mergei in creation order —
+			// the paper's disk layout for this algorithm.
+			mgr.OpenMap(p, r.segR[i])
+			mgr.OpenMap(p, r.segS[i])
+			rsBytes := int64(rsCounts[i]) * r.r
+			if rsBytes == 0 {
+				rsBytes = 1
+			}
+			rsSeg[i] = mgr.NewMap(p, fmt.Sprintf("RS%d", i), rsBytes)
+			offsets, total := r.subLayout(i, counts)
+			rp := mgr.NewMap(p, fmt.Sprintf("RP%d", i), total)
+			mergeSeg := mgr.NewMap(p, fmt.Sprintf("Merge%d", i), rsBytes)
+			r.markPhase(p, "setup")
+			bar.Wait(p) // all RSj exist before anyone appends
+
+			// Pass 0: scan Ri; own references append to RSi, the rest
+			// sub-partition into RPi,j.
+			cursors := make([]int64, r.d)
+			rpRefs := make([][]pendingJoin, r.d)
+			for x, ptr := range r.w.Refs[i] {
+				pg.Touch(p, r.segR[i], int64(x)*r.r, r.r, false)
+				p.Advance(r.m.Cfg.MapCost + r.m.Cfg.TransferPP(r.r))
+				j := int(ptr.Part)
+				if j == i {
+					pg.Touch(p, rsSeg[i], rsCursor[i]*r.r, r.r, true)
+					rsObjs[i] = append(rsObjs[i], pendingJoin{ri: int32(i), x: int32(x), ptr: ptr})
+					rsCursor[i]++
+					continue
+				}
+				pg.Touch(p, rp, offsets[j]+cursors[j]*r.r, r.r, true)
+				cursors[j]++
+				rpRefs[j] = append(rpRefs[j], pendingJoin{ri: int32(i), x: int32(x), ptr: ptr})
+			}
+			r.markPhase(p, "pass0")
+			bar.Wait(p)
+
+			// Pass 1: staggered, synchronized phases move each RPi,j
+			// into RSj (mapped into Rproci's private memory, so the move
+			// is a private-to-private transfer).
+			for t := 1; t < r.d; t++ {
+				j := r.phasePartition(i, t)
+				for n, pj := range rpRefs[j] {
+					pg.Touch(p, rp, offsets[j]+int64(n)*r.r, r.r, false)
+					p.Advance(r.m.Cfg.TransferPP(r.r))
+					pg.Touch(p, rsSeg[j], rsCursor[j]*r.r, r.r, true)
+					rsObjs[j] = append(rsObjs[j], pj)
+					rsCursor[j]++
+				}
+				bar.Wait(p)
+			}
+			// Hand the foreign RSj pages back to their owners: write out
+			// our dirty pages and drop them from our memory.
+			for j := 0; j < r.d; j++ {
+				if j != i {
+					pg.FlushSegment(p, rsSeg[j])
+					pg.DropSegment(rsSeg[j])
+				}
+			}
+			r.markPhase(p, "pass1")
+			bar.Wait(p)
+
+			// Pass 2: heap-sort runs of IRUN objects in place.
+			n := len(rsObjs[i])
+			irun := r.prm.IRun
+			if irun <= 0 {
+				irun = int(r.prm.MRproc / (r.r + int64(r.m.Cfg.HeapPtrBytes)))
+			}
+			if irun < 1 {
+				irun = 1
+			}
+			nrunABL := r.prm.NRunABL
+			if nrunABL <= 0 {
+				nrunABL = int(r.prm.MRproc / (3 * r.b))
+			}
+			if nrunABL < 2 {
+				nrunABL = 2
+			}
+			nrunLast := r.prm.NRunLast
+			if nrunLast <= 0 {
+				nrunLast = int(r.prm.MRproc / (2 * r.b))
+			}
+			if nrunLast < 2 {
+				nrunLast = 2
+			}
+			if irun > r.res.IRun {
+				r.res.IRun = irun
+			}
+
+			// The heap of pointers is memory-resident alongside the run.
+			heapFrames := int((int64(irun)*int64(r.m.Cfg.HeapPtrBytes) + r.b - 1) / r.b)
+			var runs []int // run start indices (end = next start or n)
+			for start := 0; start < n; start += irun {
+				end := start + irun
+				if end > n {
+					end = n
+				}
+				runs = append(runs, start)
+				pg.Reserve(p, heapFrames)
+				pg.Touch(p, rsSeg[i], int64(start)*r.r, int64(end-start)*r.r, false)
+				seq := rsObjs[i][start:end]
+				handles := make([]int32, end-start)
+				for h := range handles {
+					handles[h] = int32(h)
+				}
+				costs := pheap.Sort(handles, func(a, b int32) bool {
+					return seq[a].ptr.Less(seq[b].ptr)
+				})
+				r.res.Heap.Add(costs)
+				// Charge the heap work plus the in-place move of the
+				// R-objects along the sorted pointer list.
+				p.Advance(r.heapTime(costs) + r.m.Cfg.TransferPP(int64(end-start)*r.r))
+				applyPermutation(seq, handles)
+				pg.Touch(p, rsSeg[i], int64(start)*r.r, int64(end-start)*r.r, true)
+				pg.Unreserve(heapFrames)
+			}
+			if n == 0 {
+				runs = nil
+			}
+			r.markPhase(p, "pass2")
+
+			// Merge passes: groups of NRUNABL runs, alternating RSi and
+			// Mergei as source and destination, until at most NRUNLAST
+			// runs remain for the final joining merge.
+			src, dst := rsSeg[i], mergeSeg
+			srcObjs := rsObjs[i]
+			mkEnds := func(starts []int, total int) []int {
+				ends := make([]int, len(starts))
+				for k := range starts {
+					if k+1 < len(starts) {
+						ends[k] = starts[k+1]
+					} else {
+						ends[k] = total
+					}
+				}
+				return ends
+			}
+			npass := 1 // the final merge always happens
+			for len(runs) > nrunLast {
+				npass++
+				allEnds := mkEnds(runs, len(srcObjs))
+				dstObjs := make([]pendingJoin, 0, n)
+				var dstRuns []int
+				for g := 0; g < len(runs); g += nrunABL {
+					hi := g + nrunABL
+					if hi > len(runs) {
+						hi = len(runs)
+					}
+					dstRuns = append(dstRuns, len(dstObjs))
+					r.mergeRuns(p, pg, src, srcObjs, runs[g:hi], allEnds[g:hi], func(obj pendingJoin) {
+						pg.Touch(p, dst, int64(len(dstObjs))*r.r, r.r, true)
+						p.Advance(r.m.Cfg.TransferPP(r.r))
+						dstObjs = append(dstObjs, obj)
+					})
+				}
+				pg.FlushSegment(p, dst)
+				// Swap roles: destroy the exhausted source, make a fresh
+				// destination (the paper's deleteMap+newMap per pass).
+				pg.DropSegment(src)
+				mgr.DeleteMap(p, src)
+				src, srcObjs, runs = dst, dstObjs, dstRuns
+				dst = mgr.NewMap(p, fmt.Sprintf("Merge%d.%d", i, npass), rsBytes)
+			}
+			r.markPhase(p, "merge")
+
+			// Final pass: merge the last LRUN runs, joining each object
+			// with Si read sequentially through the shared buffer.
+			if npass > r.res.NPass {
+				r.res.NPass = npass
+			}
+			if len(runs) > r.res.LRun {
+				r.res.LRun = len(runs)
+			}
+			gbuf := r.newGBuffer(i, i)
+			r.mergeRuns(p, pg, src, srcObjs, runs, mkEnds(runs, len(srcObjs)), func(obj pendingJoin) {
+				gbuf.add(p, obj.ri, obj.x, obj.ptr)
+			})
+			gbuf.flush(p)
+			r.markPhase(p, "join")
+
+			r.addPagerStats(pg)
+			r.rprocDone(p, i)
+		})
+	}
+	r.m.K.Run()
+	r.finishPhases([]string{"setup", "pass0", "pass1", "pass2", "merge", "join"})
+}
+
+// mergeRuns merges the runs of srcObjs delimited by starts/ends using a
+// delete-insert heap of one cursor per run, emitting objects in S-pointer
+// order.
+func (r *runner) mergeRuns(p *sim.Proc, pg *vm.Pager, src *seg.Segment,
+	srcObjs []pendingJoin, starts, ends []int, emit func(pendingJoin)) {
+	if len(starts) == 0 {
+		return
+	}
+	cursors := append([]int(nil), starts...)
+	touchCursor := func(k int) {
+		pg.Touch(p, src, int64(cursors[k])*r.r, r.r, false)
+	}
+	less := func(a, b int32) bool {
+		return srcObjs[cursors[a]].ptr.Less(srcObjs[cursors[b]].ptr)
+	}
+	var live []int32
+	for k := range starts {
+		if cursors[k] < ends[k] {
+			touchCursor(k)
+			live = append(live, int32(k))
+		}
+	}
+	h := pheap.NewFloyd(live, less)
+	before := h.Costs()
+	for h.Len() > 0 {
+		k := int(h.Min())
+		obj := srcObjs[cursors[k]]
+		cursors[k]++
+		var costs pheap.Costs
+		if cursors[k] < ends[k] {
+			touchCursor(k)
+			h.ReplaceMin(int32(k))
+			costs = h.Costs()
+		} else {
+			h.DeleteMin()
+			costs = h.Costs()
+		}
+		delta := pheap.Costs{
+			Compares:  costs.Compares - before.Compares,
+			Swaps:     costs.Swaps - before.Swaps,
+			Transfers: costs.Transfers - before.Transfers,
+		}
+		before = costs
+		r.res.Heap.Add(delta)
+		p.Advance(r.heapTime(delta))
+		emit(obj)
+	}
+}
+
+// heapTime converts heap operation counts to CPU time at the machine's
+// measured per-operation costs.
+func (r *runner) heapTime(c pheap.Costs) sim.Time {
+	return sim.Time(c.Compares)*r.m.Cfg.CompareCost +
+		sim.Time(c.Swaps)*r.m.Cfg.SwapCost +
+		sim.Time(c.Transfers)*r.m.Cfg.TransferCost
+}
+
+// applyPermutation reorders seq so that seq[i] = old seq[perm[i]].
+func applyPermutation(seq []pendingJoin, perm []int32) {
+	out := make([]pendingJoin, len(seq))
+	for i, h := range perm {
+		out[i] = seq[h]
+	}
+	copy(seq, out)
+}

@@ -1,0 +1,143 @@
+// Package machine assembles the simulated shared-memory multiprocessor of
+// the paper's model: P processes each with a private memory and a shared
+// memory for communication, D disks allowing parallel I/O, measured
+// per-byte memory-transfer costs MT{pp,ps,sp,ss}, a context-switch cost
+// CS, and per-operation CPU costs (map, hash, and the heap primitives
+// compare, swap, transfer).
+package machine
+
+import (
+	"fmt"
+
+	"mmjoin/internal/disk"
+	"mmjoin/internal/seg"
+	"mmjoin/internal/sim"
+)
+
+// Config holds the measured machine parameters of the paper's §3 model.
+// Defaults approximate a 1996 Sequent Symmetry class machine.
+type Config struct {
+	D     int         // parallel I/O controllers (and R/S process pairs)
+	Disk  disk.Config // per-drive parameters
+	Setup seg.SetupCost
+
+	CS sim.Time // context switch
+
+	// Per-byte combined read/write transfer costs, in ns/byte:
+	// private→private, private→shared, shared→private, shared→shared.
+	MTpp, MTps, MTsp, MTss float64
+
+	MapCost  sim.Time // compute containing S partition from a pointer
+	HashCost sim.Time // hash a join attribute
+
+	CompareCost  sim.Time // compare two heap elements
+	SwapCost     sim.Time // swap two heap elements
+	TransferCost sim.Time // move an element to or from a heap
+
+	HeapPtrBytes int // hp: bytes per element in a heap of pointers
+}
+
+// DefaultConfig returns parameters on the scale of the paper's testbed
+// (10×i386 Sequent Symmetry, Fujitsu drives, 4K pages).
+func DefaultConfig() Config {
+	return Config{
+		D:     4,
+		Disk:  disk.DefaultConfig(),
+		Setup: seg.DefaultSetupCost(),
+		CS:    150 * sim.Microsecond,
+		MTpp:  250, MTps: 300, MTsp: 300, MTss: 350, // ns per byte
+		MapCost:      15 * sim.Microsecond,
+		HashCost:     25 * sim.Microsecond,
+		CompareCost:  5 * sim.Microsecond,
+		SwapCost:     8 * sim.Microsecond,
+		TransferCost: 6 * sim.Microsecond,
+		HeapPtrBytes: 8,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.D < 1 {
+		return fmt.Errorf("machine: D=%d must be >= 1", c.D)
+	}
+	if c.Disk.BlockBytes <= 0 {
+		return fmt.Errorf("machine: disk BlockBytes %d", c.Disk.BlockBytes)
+	}
+	if c.HeapPtrBytes <= 0 {
+		return fmt.Errorf("machine: HeapPtrBytes %d", c.HeapPtrBytes)
+	}
+	return nil
+}
+
+// B returns the virtual-memory page size in bytes.
+func (c Config) B() int { return c.Disk.BlockBytes }
+
+// TransferPP returns the time to move n bytes private→private.
+func (c Config) TransferPP(n int64) sim.Time { return sim.Time(float64(n) * c.MTpp) }
+
+// TransferPS returns the time to move n bytes private→shared.
+func (c Config) TransferPS(n int64) sim.Time { return sim.Time(float64(n) * c.MTps) }
+
+// TransferSP returns the time to move n bytes shared→private.
+func (c Config) TransferSP(n int64) sim.Time { return sim.Time(float64(n) * c.MTsp) }
+
+// Machine is an assembled simulated machine: one kernel, D disks with
+// their segment managers, and a shared mapping system.
+type Machine struct {
+	Cfg  Config
+	K    *sim.Kernel
+	Sys  *seg.System
+	Disk []*disk.Disk
+	Mgr  []*seg.Manager
+}
+
+// New builds a machine from the configuration.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{Cfg: cfg, K: sim.NewKernel(), Sys: seg.NewSystem(cfg.Setup)}
+	for i := 0; i < cfg.D; i++ {
+		d, err := disk.New(m.K, fmt.Sprintf("disk%d", i), cfg.Disk)
+		if err != nil {
+			return nil, err
+		}
+		m.Disk = append(m.Disk, d)
+		m.Mgr = append(m.Mgr, seg.NewManager(m.Sys, d))
+	}
+	return m, nil
+}
+
+// MustNew is New, panicking on error.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Shutdown drains all pageout queues and stops the daemons. It must be
+// called from a simulated process once all work is complete.
+func (m *Machine) Shutdown(p *sim.Proc) {
+	for _, d := range m.Disk {
+		d.Drain(p)
+	}
+	for _, d := range m.Disk {
+		d.Close()
+	}
+}
+
+// DiskStats sums the drives' counters.
+func (m *Machine) DiskStats() disk.Stats {
+	var total disk.Stats
+	for _, d := range m.Disk {
+		s := d.Stats()
+		total.Reads += s.Reads
+		total.Writes += s.Writes
+		total.SeekTime += s.SeekTime
+		total.ServiceSum += s.ServiceSum
+		total.Stalls += s.Stalls
+	}
+	return total
+}

@@ -1,0 +1,122 @@
+package machine
+
+import (
+	"testing"
+
+	"mmjoin/internal/sim"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.B() != 4096 {
+		t.Errorf("B = %d", cfg.B())
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.D = 0 },
+		func(c *Config) { c.Disk.BlockBytes = 0 },
+		func(c *Config) { c.HeapPtrBytes = 0 },
+	}
+	for i, mutate := range cases {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: New accepted invalid config", i)
+		}
+	}
+}
+
+func TestTransferCosts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MTpp, cfg.MTps, cfg.MTsp = 100, 200, 300
+	if got := cfg.TransferPP(10); got != 1000 {
+		t.Errorf("TransferPP = %v", got)
+	}
+	if got := cfg.TransferPS(10); got != 2000 {
+		t.Errorf("TransferPS = %v", got)
+	}
+	if got := cfg.TransferSP(10); got != 3000 {
+		t.Errorf("TransferSP = %v", got)
+	}
+}
+
+func TestNewBuildsDDisks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.D = 3
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Disk) != 3 || len(m.Mgr) != 3 {
+		t.Fatalf("disks=%d mgrs=%d", len(m.Disk), len(m.Mgr))
+	}
+	m.K.Spawn("t", func(p *sim.Proc) {
+		m.Disk[1].Read(p, 100)
+		m.Shutdown(p)
+	})
+	m.K.Run()
+	st := m.DiskStats()
+	if st.Reads != 1 {
+		t.Errorf("DiskStats.Reads = %d", st.Reads)
+	}
+}
+
+func TestShutdownDrainsAllQueues(t *testing.T) {
+	m := MustNew(DefaultConfig())
+	m.K.Spawn("t", func(p *sim.Proc) {
+		for i, d := range m.Disk {
+			d.ScheduleWrite(p, 100*i+1)
+			d.ScheduleWrite(p, 100*i+2)
+		}
+		m.Shutdown(p)
+	})
+	m.K.Run()
+	if st := m.DiskStats(); st.Writes != int64(2*len(m.Disk)) {
+		t.Errorf("Writes = %d, want %d", st.Writes, 2*len(m.Disk))
+	}
+}
+
+func TestDisksAreIndependentResources(t *testing.T) {
+	// Two readers on two disks overlap and finish much earlier than two
+	// readers contending for one disk.
+	cfg := DefaultConfig()
+	cfg.D = 2
+	finish := func(sameDisk bool) sim.Time {
+		m := MustNew(cfg)
+		var last sim.Time
+		done := 0
+		for i := 0; i < 2; i++ {
+			disk := i
+			if sameDisk {
+				disk = 0
+			}
+			m.K.Spawn("r", func(p *sim.Proc) {
+				for n := 0; n < 50; n++ {
+					m.Disk[disk].Read(p, n*97%cfg.Disk.Blocks)
+				}
+				if p.Now() > last {
+					last = p.Now()
+				}
+				done++
+				if done == 2 {
+					m.Shutdown(p)
+				}
+			})
+		}
+		m.K.Run()
+		return last
+	}
+	par := finish(false)
+	ser := finish(true)
+	if float64(ser) < 1.5*float64(par) {
+		t.Errorf("contended run (%v) should be much slower than parallel disks (%v)", ser, par)
+	}
+}

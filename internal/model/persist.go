@@ -1,0 +1,101 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mmjoin/internal/sim"
+)
+
+// calibrationJSON is the serialized form of a Calibration: curves as
+// point lists, times in nanoseconds — the file a deployment would ship
+// from a one-off calibration run to its query optimizers.
+type calibrationJSON struct {
+	B int64 `json:"pageBytes"`
+
+	DTTR      curveJSON `json:"dttr"`
+	DTTW      curveJSON `json:"dttw"`
+	NewMap    curveJSON `json:"newMap"`
+	OpenMap   curveJSON `json:"openMap"`
+	DeleteMap curveJSON `json:"deleteMap"`
+
+	CS       int64 `json:"contextSwitchNS"`
+	Map      int64 `json:"mapNS"`
+	Hash     int64 `json:"hashNS"`
+	Compare  int64 `json:"compareNS"`
+	Swap     int64 `json:"swapNS"`
+	Transfer int64 `json:"transferNS"`
+
+	MTpp float64 `json:"mtppNSPerByte"`
+	MTps float64 `json:"mtpsNSPerByte"`
+	MTsp float64 `json:"mtspNSPerByte"`
+	MTss float64 `json:"mtssNSPerByte"`
+
+	HP int64 `json:"heapPtrBytes"`
+}
+
+type curveJSON struct {
+	X []float64 `json:"x"`
+	Y []float64 `json:"y"`
+}
+
+// Write serializes the calibration as JSON.
+func (c Calibration) Write(w io.Writer) error {
+	enc := func(cv Curve) curveJSON {
+		xs, ys := cv.Points()
+		return curveJSON{X: xs, Y: ys}
+	}
+	out := calibrationJSON{
+		B:    c.B,
+		DTTR: enc(c.DTTR), DTTW: enc(c.DTTW),
+		NewMap: enc(c.NewMap), OpenMap: enc(c.OpenMap), DeleteMap: enc(c.DeleteMap),
+		CS: int64(c.CS), Map: int64(c.Map), Hash: int64(c.Hash),
+		Compare: int64(c.Compare), Swap: int64(c.Swap), Transfer: int64(c.Transfer),
+		MTpp: c.MTpp, MTps: c.MTps, MTsp: c.MTsp, MTss: c.MTss,
+		HP: c.HP,
+	}
+	e := json.NewEncoder(w)
+	e.SetIndent("", "  ")
+	return e.Encode(out)
+}
+
+// ReadCalibration deserializes a calibration written by Write.
+func ReadCalibration(r io.Reader) (Calibration, error) {
+	var in calibrationJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return Calibration{}, fmt.Errorf("model: decode calibration: %w", err)
+	}
+	if in.B <= 0 || in.HP <= 0 {
+		return Calibration{}, fmt.Errorf("model: calibration missing page/heap sizes")
+	}
+	dec := func(name string, cv curveJSON) (Curve, error) {
+		c, err := NewCurve(cv.X, cv.Y)
+		if err != nil {
+			return Curve{}, fmt.Errorf("model: calibration curve %s: %w", name, err)
+		}
+		return c, nil
+	}
+	var c Calibration
+	var err error
+	c.B, c.HP = in.B, in.HP
+	if c.DTTR, err = dec("dttr", in.DTTR); err != nil {
+		return Calibration{}, err
+	}
+	if c.DTTW, err = dec("dttw", in.DTTW); err != nil {
+		return Calibration{}, err
+	}
+	if c.NewMap, err = dec("newMap", in.NewMap); err != nil {
+		return Calibration{}, err
+	}
+	if c.OpenMap, err = dec("openMap", in.OpenMap); err != nil {
+		return Calibration{}, err
+	}
+	if c.DeleteMap, err = dec("deleteMap", in.DeleteMap); err != nil {
+		return Calibration{}, err
+	}
+	c.CS, c.Map, c.Hash = sim.Time(in.CS), sim.Time(in.Map), sim.Time(in.Hash)
+	c.Compare, c.Swap, c.Transfer = sim.Time(in.Compare), sim.Time(in.Swap), sim.Time(in.Transfer)
+	c.MTpp, c.MTps, c.MTsp, c.MTss = in.MTpp, in.MTps, in.MTsp, in.MTss
+	return c, nil
+}

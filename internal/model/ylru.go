@@ -1,0 +1,56 @@
+package model
+
+import "math"
+
+// Ylru is the Mackert–Lohman approximation of the number of page faults
+// incurred retrieving matching tuples through a finite LRU buffer: given
+// a relation of n tuples stored on t pages with i distinct key values and
+// a b-page LRU buffer, Ylru estimates the faults caused by looking up x
+// key values.
+//
+//	Ylru(N,t,i,b,x) = t·(1−q^x)                        if x ≤ n*
+//	                = t·[(1−q^n*) + p·(x−n*)·q^n*]     if x > n*
+//
+// where n* = max{ j ≤ i : t(1−q^j) ≤ b } and
+// q = 1−p = (1 − 1/max(t,i))^(N/min(t,i)). x is clamped to i (at most i
+// distinct key values exist).
+func Ylru(n, t, i, b, x float64) float64 {
+	if x <= 0 || t <= 0 {
+		return 0
+	}
+	if i < 1 {
+		i = 1
+	}
+	if x > i {
+		x = i
+	}
+	if b < 1 {
+		b = 1
+	}
+	maxTI := math.Max(t, i)
+	minTI := math.Min(t, i)
+	q := math.Pow(1-1/maxTI, n/minTI)
+	p := 1 - q
+	if p <= 0 {
+		return 0
+	}
+	// n* = max{j : j ≤ i, t(1−q^j) ≤ b}: the point at which the buffer
+	// fills. t(1−q^j) is increasing in j, so solve then clamp.
+	var nStar float64
+	if b >= t {
+		nStar = i
+	} else {
+		// t(1−q^j) = b  ⇒  q^j = 1−b/t  ⇒  j = ln(1−b/t)/ln(q)
+		nStar = math.Log(1-b/t) / math.Log(q)
+		if nStar > i {
+			nStar = i
+		}
+		if nStar < 0 {
+			nStar = 0
+		}
+	}
+	if x <= nStar {
+		return t * (1 - math.Pow(q, x))
+	}
+	return t * ((1 - math.Pow(q, nStar)) + p*(x-nStar)*math.Pow(q, nStar))
+}

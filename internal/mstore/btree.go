@@ -1,0 +1,497 @@
+package mstore
+
+import (
+	"fmt"
+)
+
+// BTree is a persistent B+tree stored entirely inside a segment: nodes
+// are fixed-size blocks, child and value references are virtual pointers
+// (offsets), and leaves are chained for range scans. Because the segment
+// is exactly positioned, a tree built in one process is usable after
+// reopening the file with no pointer fixup — the µDatabase result the
+// paper builds on ("data structures such as B-Trees ... can be
+// implemented as efficiently and effectively in this environment").
+//
+// Keys are uint64; values are virtual pointers (Ptr), typically into a
+// relation in the same or another segment. Duplicate keys are rejected.
+type BTree struct {
+	seg       *Segment
+	hdr       Ptr
+	nodeBytes int
+	maxKeys   int
+}
+
+// Tree header layout: magic u32, nodeBytes u32, root Ptr, count u64,
+// first-leaf Ptr.
+const (
+	btMagic     = 0x42545231 // "BTR1"
+	btHdrBytes  = 40
+	btOffMagic  = 0
+	btOffNode   = 4
+	btOffRoot   = 8
+	btOffCount  = 16
+	btOffFirst  = 24
+	minNodeSize = 64
+)
+
+// Node layout: flags u32 (1 = leaf), count u32, next Ptr (leaves only),
+// then maxKeys keys (u64) followed by maxKeys+1 refs (u64). For leaves
+// refs[0..count-1] are values; for internal nodes refs[0..count] are
+// children.
+const nodeHdrBytes = 16
+
+// btMaxKeys sizes the key array so a node can briefly hold maxKeys+1
+// keys and maxKeys+2 refs while an overflow is being split:
+// nodeHdr + 8·(maxKeys+1) + 8·(maxKeys+2) ≤ nodeBytes.
+func btMaxKeys(nodeBytes int) int {
+	return (nodeBytes - nodeHdrBytes - 24) / 16
+}
+
+// CreateBTree allocates an empty tree with the given node size (0 ⇒ one
+// 4K page) and returns it. Persist the returned Head pointer (for
+// example via Segment.SetRoot) to reopen the tree later.
+func CreateBTree(seg *Segment, nodeBytes int) (*BTree, error) {
+	if nodeBytes == 0 {
+		nodeBytes = 4096
+	}
+	if nodeBytes < minNodeSize {
+		return nil, fmt.Errorf("mstore: btree node %d below minimum %d", nodeBytes, minNodeSize)
+	}
+	hdr, err := seg.Alloc(btHdrBytes)
+	if err != nil {
+		return nil, err
+	}
+	t := &BTree{seg: seg, hdr: hdr, nodeBytes: nodeBytes}
+	t.maxKeys = btMaxKeys(nodeBytes)
+	if t.maxKeys < 3 {
+		return nil, fmt.Errorf("mstore: btree node %d too small for 3 keys", nodeBytes)
+	}
+	seg.PutU32(hdr+btOffMagic, btMagic)
+	seg.PutU32(hdr+btOffNode, uint32(nodeBytes))
+	root, err := t.newNode(true)
+	if err != nil {
+		return nil, err
+	}
+	seg.PutU64(hdr+btOffRoot, uint64(root))
+	seg.PutU64(hdr+btOffCount, 0)
+	seg.PutU64(hdr+btOffFirst, uint64(root))
+	return t, nil
+}
+
+// OpenBTree attaches to a tree previously created at hdr.
+func OpenBTree(seg *Segment, hdr Ptr) (*BTree, error) {
+	if seg.U32(hdr+btOffMagic) != btMagic {
+		return nil, fmt.Errorf("mstore: no btree at %d", hdr)
+	}
+	nodeBytes := int(seg.U32(hdr + btOffNode))
+	t := &BTree{seg: seg, hdr: hdr, nodeBytes: nodeBytes}
+	t.maxKeys = btMaxKeys(nodeBytes)
+	return t, nil
+}
+
+// Head returns the tree's persistent header pointer.
+func (t *BTree) Head() Ptr { return t.hdr }
+
+// Len returns the number of stored keys.
+func (t *BTree) Len() int { return int(t.seg.U64(t.hdr + btOffCount)) }
+
+func (t *BTree) root() Ptr       { return Ptr(t.seg.U64(t.hdr + btOffRoot)) }
+func (t *BTree) setRoot(p Ptr)   { t.seg.PutU64(t.hdr+btOffRoot, uint64(p)) }
+func (t *BTree) bumpCount(d int) { t.seg.PutU64(t.hdr+btOffCount, uint64(t.Len()+d)) }
+
+// Node accessors.
+
+func (t *BTree) newNode(leaf bool) (Ptr, error) {
+	n, err := t.seg.Alloc(int64(t.nodeBytes))
+	if err != nil {
+		return 0, err
+	}
+	flags := uint32(0)
+	if leaf {
+		flags = 1
+	}
+	t.seg.PutU32(n, flags)
+	t.seg.PutU32(n+4, 0)
+	t.seg.PutU64(n+8, 0)
+	return n, nil
+}
+
+func (t *BTree) isLeaf(n Ptr) bool { return t.seg.U32(n)&1 == 1 }
+func (t *BTree) count(n Ptr) int   { return int(t.seg.U32(n + 4)) }
+func (t *BTree) setCount(n Ptr, c int) {
+	t.seg.PutU32(n+4, uint32(c))
+}
+func (t *BTree) next(n Ptr) Ptr    { return Ptr(t.seg.U64(n + 8)) }
+func (t *BTree) setNext(n, nx Ptr) { t.seg.PutU64(n+8, uint64(nx)) }
+func (t *BTree) keyAt(n Ptr, i int) uint64 {
+	return t.seg.U64(n + nodeHdrBytes + Ptr(8*i))
+}
+func (t *BTree) setKeyAt(n Ptr, i int, k uint64) {
+	t.seg.PutU64(n+nodeHdrBytes+Ptr(8*i), k)
+}
+func (t *BTree) refBase(n Ptr) Ptr { return n + nodeHdrBytes + Ptr(8*(t.maxKeys+1)) }
+func (t *BTree) refAt(n Ptr, i int) Ptr {
+	return Ptr(t.seg.U64(t.refBase(n) + Ptr(8*i)))
+}
+func (t *BTree) setRefAt(n Ptr, i int, v Ptr) {
+	t.seg.PutU64(t.refBase(n)+Ptr(8*i), uint64(v))
+}
+
+// search returns the index of the first key ≥ k in node n.
+func (t *BTree) search(n Ptr, k uint64) int {
+	lo, hi := 0, t.count(n)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.keyAt(n, mid) < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Get returns the value stored under k.
+func (t *BTree) Get(k uint64) (Ptr, bool) {
+	n := t.root()
+	for !t.isLeaf(n) {
+		i := t.search(n, k)
+		if i < t.count(n) && t.keyAt(n, i) == k {
+			i++ // equal keys route right in internal nodes
+		}
+		n = t.refAt(n, i)
+	}
+	i := t.search(n, k)
+	if i < t.count(n) && t.keyAt(n, i) == k {
+		return t.refAt(n, i), true
+	}
+	return 0, false
+}
+
+// Insert stores v under k, rejecting duplicates.
+func (t *BTree) Insert(k uint64, v Ptr) error {
+	root := t.root()
+	promoted, newRight, grew, err := t.insert(root, k, v)
+	if err != nil {
+		return err
+	}
+	if grew {
+		newRoot, err := t.newNode(false)
+		if err != nil {
+			return err
+		}
+		t.setCount(newRoot, 1)
+		t.setKeyAt(newRoot, 0, promoted)
+		t.setRefAt(newRoot, 0, root)
+		t.setRefAt(newRoot, 1, newRight)
+		t.setRoot(newRoot)
+	}
+	t.bumpCount(1)
+	return nil
+}
+
+// insert descends into n; on split it returns the promoted key and new
+// right sibling with grew=true.
+func (t *BTree) insert(n Ptr, k uint64, v Ptr) (promoted uint64, right Ptr, grew bool, err error) {
+	if t.isLeaf(n) {
+		i := t.search(n, k)
+		if i < t.count(n) && t.keyAt(n, i) == k {
+			return 0, 0, false, fmt.Errorf("mstore: duplicate btree key %d", k)
+		}
+		t.shiftIn(n, i, k, Ptr(v), true)
+		if t.count(n) <= t.maxKeys {
+			return 0, 0, false, nil
+		}
+		return t.splitLeaf(n)
+	}
+	i := t.search(n, k)
+	if i < t.count(n) && t.keyAt(n, i) == k {
+		return 0, 0, false, fmt.Errorf("mstore: duplicate btree key %d", k)
+	}
+	childPromoted, childRight, childGrew, err := t.insert(t.refAt(n, i), k, v)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if !childGrew {
+		return 0, 0, false, nil
+	}
+	t.shiftInInternal(n, i, childPromoted, childRight)
+	if t.count(n) <= t.maxKeys {
+		return 0, 0, false, nil
+	}
+	return t.splitInternal(n)
+}
+
+// shiftIn inserts key k and value v at position i of leaf n.
+func (t *BTree) shiftIn(n Ptr, i int, k uint64, v Ptr, leaf bool) {
+	c := t.count(n)
+	for j := c; j > i; j-- {
+		t.setKeyAt(n, j, t.keyAt(n, j-1))
+		t.setRefAt(n, j, t.refAt(n, j-1))
+	}
+	t.setKeyAt(n, i, k)
+	t.setRefAt(n, i, v)
+	t.setCount(n, c+1)
+}
+
+// shiftInInternal inserts promoted key at i and the new right child at
+// i+1 of internal node n.
+func (t *BTree) shiftInInternal(n Ptr, i int, k uint64, right Ptr) {
+	c := t.count(n)
+	for j := c; j > i; j-- {
+		t.setKeyAt(n, j, t.keyAt(n, j-1))
+		t.setRefAt(n, j+1, t.refAt(n, j))
+	}
+	t.setKeyAt(n, i, k)
+	t.setRefAt(n, i+1, right)
+	t.setCount(n, c+1)
+}
+
+func (t *BTree) splitLeaf(n Ptr) (uint64, Ptr, bool, error) {
+	right, err := t.newNode(true)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	c := t.count(n)
+	half := c / 2
+	for j := half; j < c; j++ {
+		t.setKeyAt(right, j-half, t.keyAt(n, j))
+		t.setRefAt(right, j-half, t.refAt(n, j))
+	}
+	t.setCount(right, c-half)
+	t.setCount(n, half)
+	t.setNext(right, t.next(n))
+	t.setNext(n, right)
+	return t.keyAt(right, 0), right, true, nil
+}
+
+func (t *BTree) splitInternal(n Ptr) (uint64, Ptr, bool, error) {
+	right, err := t.newNode(false)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	c := t.count(n)
+	mid := c / 2
+	promoted := t.keyAt(n, mid)
+	for j := mid + 1; j < c; j++ {
+		t.setKeyAt(right, j-mid-1, t.keyAt(n, j))
+		t.setRefAt(right, j-mid-1, t.refAt(n, j))
+	}
+	t.setRefAt(right, c-mid-1, t.refAt(n, c))
+	t.setCount(right, c-mid-1)
+	t.setCount(n, mid)
+	return promoted, right, true, nil
+}
+
+// Range calls fn for every (key, value) with lo ≤ key ≤ hi in ascending
+// order, stopping early if fn returns false.
+func (t *BTree) Range(lo, hi uint64, fn func(k uint64, v Ptr) bool) {
+	n := t.root()
+	for !t.isLeaf(n) {
+		i := t.search(n, lo)
+		if i < t.count(n) && t.keyAt(n, i) == lo {
+			i++
+		}
+		n = t.refAt(n, i)
+	}
+	for n != 0 {
+		c := t.count(n)
+		for i := t.search(n, lo); i < c; i++ {
+			k := t.keyAt(n, i)
+			if k > hi {
+				return
+			}
+			if !fn(k, t.refAt(n, i)) {
+				return
+			}
+		}
+		n = t.next(n)
+	}
+}
+
+// Delete removes k, returning false if it was absent. Underfull nodes
+// are repaired by borrowing from or merging with a sibling.
+func (t *BTree) Delete(k uint64) bool {
+	deleted := t.delete(t.root(), k)
+	if !deleted {
+		return false
+	}
+	root := t.root()
+	if !t.isLeaf(root) && t.count(root) == 0 {
+		old := root
+		t.setRoot(t.refAt(root, 0))
+		t.seg.Free(old, int64(t.nodeBytes))
+	}
+	t.bumpCount(-1)
+	return true
+}
+
+func (t *BTree) minKeys() int { return t.maxKeys / 2 }
+
+func (t *BTree) delete(n Ptr, k uint64) bool {
+	if t.isLeaf(n) {
+		i := t.search(n, k)
+		if i >= t.count(n) || t.keyAt(n, i) != k {
+			return false
+		}
+		c := t.count(n)
+		for j := i; j < c-1; j++ {
+			t.setKeyAt(n, j, t.keyAt(n, j+1))
+			t.setRefAt(n, j, t.refAt(n, j+1))
+		}
+		t.setCount(n, c-1)
+		return true
+	}
+	i := t.search(n, k)
+	if i < t.count(n) && t.keyAt(n, i) == k {
+		i++
+	}
+	child := t.refAt(n, i)
+	if !t.delete(child, k) {
+		return false
+	}
+	if t.count(child) < t.minKeys() {
+		t.rebalance(n, i)
+	}
+	return true
+}
+
+// rebalance repairs the underfull child at position i of parent n.
+func (t *BTree) rebalance(n Ptr, i int) {
+	child := t.refAt(n, i)
+	// Try borrowing from the left sibling.
+	if i > 0 {
+		left := t.refAt(n, i-1)
+		if t.count(left) > t.minKeys() {
+			t.borrowFromLeft(n, i, left, child)
+			return
+		}
+	}
+	// Try borrowing from the right sibling.
+	if i < t.count(n) {
+		right := t.refAt(n, i+1)
+		if t.count(right) > t.minKeys() {
+			t.borrowFromRight(n, i, child, right)
+			return
+		}
+	}
+	// Merge with a sibling.
+	if i > 0 {
+		t.merge(n, i-1)
+	} else {
+		t.merge(n, i)
+	}
+}
+
+func (t *BTree) borrowFromLeft(parent Ptr, i int, left, child Ptr) {
+	lc := t.count(left)
+	if t.isLeaf(child) {
+		t.shiftIn(child, 0, t.keyAt(left, lc-1), t.refAt(left, lc-1), true)
+		t.setCount(left, lc-1)
+		t.setKeyAt(parent, i-1, t.keyAt(child, 0))
+		return
+	}
+	// Rotate through the parent separator.
+	c := t.count(child)
+	for j := c; j > 0; j-- {
+		t.setKeyAt(child, j, t.keyAt(child, j-1))
+	}
+	for j := c + 1; j > 0; j-- {
+		t.setRefAt(child, j, t.refAt(child, j-1))
+	}
+	t.setKeyAt(child, 0, t.keyAt(parent, i-1))
+	t.setRefAt(child, 0, t.refAt(left, lc))
+	t.setCount(child, c+1)
+	t.setKeyAt(parent, i-1, t.keyAt(left, lc-1))
+	t.setCount(left, lc-1)
+}
+
+func (t *BTree) borrowFromRight(parent Ptr, i int, child, right Ptr) {
+	rc := t.count(right)
+	c := t.count(child)
+	if t.isLeaf(child) {
+		t.setKeyAt(child, c, t.keyAt(right, 0))
+		t.setRefAt(child, c, t.refAt(right, 0))
+		t.setCount(child, c+1)
+		for j := 0; j < rc-1; j++ {
+			t.setKeyAt(right, j, t.keyAt(right, j+1))
+			t.setRefAt(right, j, t.refAt(right, j+1))
+		}
+		t.setCount(right, rc-1)
+		t.setKeyAt(parent, i, t.keyAt(right, 0))
+		return
+	}
+	t.setKeyAt(child, c, t.keyAt(parent, i))
+	t.setRefAt(child, c+1, t.refAt(right, 0))
+	t.setCount(child, c+1)
+	t.setKeyAt(parent, i, t.keyAt(right, 0))
+	for j := 0; j < rc-1; j++ {
+		t.setKeyAt(right, j, t.keyAt(right, j+1))
+		t.setRefAt(right, j, t.refAt(right, j+1))
+	}
+	t.setRefAt(right, rc-1, t.refAt(right, rc))
+	t.setCount(right, rc-1)
+}
+
+// merge folds child i+1 of parent n into child i.
+func (t *BTree) merge(n Ptr, i int) {
+	left := t.refAt(n, i)
+	right := t.refAt(n, i+1)
+	lc, rc := t.count(left), t.count(right)
+	if t.isLeaf(left) {
+		for j := 0; j < rc; j++ {
+			t.setKeyAt(left, lc+j, t.keyAt(right, j))
+			t.setRefAt(left, lc+j, t.refAt(right, j))
+		}
+		t.setCount(left, lc+rc)
+		t.setNext(left, t.next(right))
+	} else {
+		t.setKeyAt(left, lc, t.keyAt(n, i))
+		for j := 0; j < rc; j++ {
+			t.setKeyAt(left, lc+1+j, t.keyAt(right, j))
+			t.setRefAt(left, lc+1+j, t.refAt(right, j))
+		}
+		t.setRefAt(left, lc+1+rc, t.refAt(right, rc))
+		t.setCount(left, lc+1+rc)
+	}
+	// Remove separator i and child i+1 from the parent.
+	pc := t.count(n)
+	for j := i; j < pc-1; j++ {
+		t.setKeyAt(n, j, t.keyAt(n, j+1))
+		t.setRefAt(n, j+1, t.refAt(n, j+2))
+	}
+	t.setCount(n, pc-1)
+	t.seg.Free(right, int64(t.nodeBytes))
+}
+
+// Verify checks structural invariants (key order within nodes, leaf
+// chain order, and count consistency) and returns the first violation.
+// It is exported for tests and integrity checks.
+func (t *BTree) Verify() error {
+	seen := 0
+	prev := uint64(0)
+	first := true
+	for n := t.leftmostLeaf(); n != 0; n = t.next(n) {
+		c := t.count(n)
+		for i := 0; i < c; i++ {
+			k := t.keyAt(n, i)
+			if !first && k <= prev {
+				return fmt.Errorf("mstore: btree keys out of order at %d", k)
+			}
+			prev, first = k, false
+			seen++
+		}
+	}
+	if seen != t.Len() {
+		return fmt.Errorf("mstore: btree count %d but %d keys reachable", t.Len(), seen)
+	}
+	return nil
+}
+
+func (t *BTree) leftmostLeaf() Ptr {
+	n := t.root()
+	for !t.isLeaf(n) {
+		n = t.refAt(n, 0)
+	}
+	return n
+}

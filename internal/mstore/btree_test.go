@@ -1,0 +1,315 @@
+package mstore
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func newTreeSeg(t *testing.T, nodeBytes int) (*Segment, *BTree) {
+	t.Helper()
+	s, err := Create(filepath.Join(t.TempDir(), "bt"), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	tree, err := CreateBTree(s, nodeBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, tree
+}
+
+func TestBTreeCreateErrors(t *testing.T) {
+	s, err := Create(filepath.Join(t.TempDir(), "bt"), 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := CreateBTree(s, 32); err == nil {
+		t.Error("tiny node accepted")
+	}
+	if _, err := OpenBTree(s, headerSize); err == nil {
+		t.Error("OpenBTree on junk succeeded")
+	}
+}
+
+func TestBTreeInsertGet(t *testing.T) {
+	_, tree := newTreeSeg(t, 128) // small nodes force splits early
+	for k := uint64(0); k < 500; k++ {
+		if err := tree.Insert(k*3, Ptr(k+1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tree.Len() != 500 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	if err := tree.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 500; k++ {
+		v, ok := tree.Get(k * 3)
+		if !ok || v != Ptr(k+1000) {
+			t.Fatalf("Get(%d) = %d,%v", k*3, v, ok)
+		}
+		if _, ok := tree.Get(k*3 + 1); ok {
+			t.Fatalf("Get(%d) should miss", k*3+1)
+		}
+	}
+}
+
+func TestBTreeDuplicateRejected(t *testing.T) {
+	_, tree := newTreeSeg(t, 128)
+	if err := tree.Insert(7, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Insert(7, 2); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if tree.Len() != 1 {
+		t.Errorf("Len = %d after duplicate", tree.Len())
+	}
+}
+
+func TestBTreeRange(t *testing.T) {
+	_, tree := newTreeSeg(t, 128)
+	for k := uint64(0); k < 300; k++ {
+		tree.Insert(k*2, Ptr(k))
+	}
+	var got []uint64
+	tree.Range(100, 120, func(k uint64, v Ptr) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []uint64{100, 102, 104, 106, 108, 110, 112, 114, 116, 118, 120}
+	if len(got) != len(want) {
+		t.Fatalf("Range got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range got %v", got)
+		}
+	}
+	// Early stop.
+	count := 0
+	tree.Range(0, 1<<62, func(uint64, Ptr) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	_, tree := newTreeSeg(t, 128)
+	const n = 400
+	for k := uint64(0); k < n; k++ {
+		tree.Insert(k, Ptr(k+1))
+	}
+	// Delete every other key.
+	for k := uint64(0); k < n; k += 2 {
+		if !tree.Delete(k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+		if err := tree.Verify(); err != nil {
+			t.Fatalf("after Delete(%d): %v", k, err)
+		}
+	}
+	if tree.Len() != n/2 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	for k := uint64(0); k < n; k++ {
+		_, ok := tree.Get(k)
+		if want := k%2 == 1; ok != want {
+			t.Fatalf("Get(%d) = %v, want %v", k, ok, want)
+		}
+	}
+	if tree.Delete(99999) {
+		t.Error("Delete of absent key returned true")
+	}
+	// Drain completely: the tree must collapse back to a single leaf.
+	for k := uint64(1); k < n; k += 2 {
+		if !tree.Delete(k) {
+			t.Fatalf("drain Delete(%d) failed", k)
+		}
+	}
+	if tree.Len() != 0 {
+		t.Errorf("Len = %d after drain", tree.Len())
+	}
+	if err := tree.Verify(); err != nil {
+		t.Error(err)
+	}
+	// Reusable after drain.
+	if err := tree.Insert(5, 50); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tree.Get(5); !ok || v != 50 {
+		t.Error("insert after drain broken")
+	}
+}
+
+func TestBTreePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bt")
+	s, err := Create(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := CreateBTree(s, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 1000; k++ {
+		tree.Insert(k*7%10007, Ptr(k+1))
+	}
+	s.SetRoot(tree.Head())
+	want := tree.Len()
+	s.Close()
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	tree2, err := OpenBTree(s2, s2.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree2.Len() != want {
+		t.Fatalf("Len = %d after reopen, want %d", tree2.Len(), want)
+	}
+	if err := tree2.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tree2.Get(7 % 10007); !ok || v == 0 {
+		t.Error("lookup after reopen failed")
+	}
+}
+
+// Property: the tree behaves like a sorted map under random inserts and
+// deletes, and Verify holds throughout.
+func TestQuickBTreeMatchesMap(t *testing.T) {
+	f := func(ops []int16) bool {
+		s, err := Create(filepath.Join(t.TempDir(), "bt"), 1<<20)
+		if err != nil {
+			return false
+		}
+		defer s.Close()
+		tree, err := CreateBTree(s, 128)
+		if err != nil {
+			return false
+		}
+		ref := map[uint64]Ptr{}
+		for _, op := range ops {
+			k := uint64(op) % 256
+			if op >= 0 {
+				v := Ptr(op + 1)
+				err := tree.Insert(k, v)
+				if _, dup := ref[k]; dup {
+					if err == nil {
+						return false // duplicate must be rejected
+					}
+				} else {
+					if err != nil {
+						return false
+					}
+					ref[k] = v
+				}
+			} else {
+				got := tree.Delete(k)
+				_, had := ref[k]
+				if got != had {
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		if tree.Len() != len(ref) {
+			return false
+		}
+		if tree.Verify() != nil {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := tree.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: range scans return exactly the keys in [lo, hi] in order.
+func TestQuickBTreeRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	_, tree := newTreeSeg(t, 128)
+	keys := map[uint64]bool{}
+	for i := 0; i < 800; i++ {
+		k := uint64(rng.Intn(4000))
+		if !keys[k] {
+			keys[k] = true
+			tree.Insert(k, Ptr(k+1))
+		}
+	}
+	f := func(rawLo, rawHi uint16) bool {
+		lo, hi := uint64(rawLo)%4200, uint64(rawHi)%4200
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		var got []uint64
+		tree.Range(lo, hi, func(k uint64, v Ptr) bool {
+			got = append(got, k)
+			return true
+		})
+		want := 0
+		for k := range keys {
+			if k >= lo && k <= hi {
+				want++
+			}
+		}
+		if len(got) != want {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBTreeLargeScaleAndDepth(t *testing.T) {
+	_, tree := newTreeSeg(t, 128)
+	rng := rand.New(rand.NewSource(3))
+	perm := rng.Perm(20000)
+	for _, k := range perm {
+		if err := tree.Insert(uint64(k), Ptr(k+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Full ordered scan via Range.
+	prev := -1
+	tree.Range(0, 1<<62, func(k uint64, v Ptr) bool {
+		if int(k) != prev+1 {
+			t.Fatalf("scan gap at %d", k)
+		}
+		prev = int(k)
+		return true
+	})
+	if prev != 19999 {
+		t.Fatalf("scan ended at %d", prev)
+	}
+}

@@ -1,0 +1,233 @@
+package mstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"path/filepath"
+)
+
+// DB is a partitioned pair of relations R and S stored in one
+// memory-mapped segment per partition, the real-store counterpart of the
+// simulator's workload: every R object's first bytes hold a virtual
+// pointer to an S object, followed by a unique R id used to verify join
+// results.
+type DB struct {
+	Dir     string
+	D       int
+	ObjSize int
+	R, S    []*Relation
+}
+
+// ridOffset is where the 8-byte R id lives inside an R object, right
+// after the join attribute.
+const ridOffset = sptrBytes
+
+// MinObjSize is the smallest valid object size (pointer + id).
+const MinObjSize = ridOffset + 8
+
+// CreateDB builds a database under dir with nr R objects and ns S
+// objects of objSize bytes, partitioned over d segments each, with
+// uniformly random join attributes (seeded).
+func CreateDB(dir string, d, nr, ns, objSize int, seed int64) (*DB, error) {
+	if objSize < MinObjSize {
+		return nil, fmt.Errorf("mstore: object size %d below minimum %d", objSize, MinObjSize)
+	}
+	if d < 1 || nr < d || ns < d {
+		return nil, fmt.Errorf("mstore: bad shape d=%d nr=%d ns=%d", d, nr, ns)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	db := &DB{Dir: dir, D: d, ObjSize: objSize}
+	rng := rand.New(rand.NewSource(seed))
+
+	sizeS := func(j int) int { return ns/d + boolInt(j < ns%d) }
+	sizeR := func(i int) int { return nr/d + boolInt(i < nr%d) }
+
+	// S first, so R's pointers can reference real offsets.
+	for j := 0; j < d; j++ {
+		seg, err := Create(db.sPath(j), int64(objSize)*int64(sizeS(j))+4096)
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		rel, err := CreateRelation(seg, objSize, sizeS(j))
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		obj := make([]byte, objSize)
+		for x := 0; x < sizeS(j); x++ {
+			binary.LittleEndian.PutUint64(obj, uint64(j)<<32|uint64(x))
+			if _, err := rel.Append(obj); err != nil {
+				db.Close()
+				return nil, err
+			}
+		}
+		db.S = append(db.S, rel)
+	}
+	rid := uint64(0)
+	for i := 0; i < d; i++ {
+		seg, err := Create(db.rPath(i), int64(objSize)*int64(sizeR(i))+4096)
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		rel, err := CreateRelation(seg, objSize, sizeR(i))
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		obj := make([]byte, objSize)
+		for x := 0; x < sizeR(i); x++ {
+			j := rng.Intn(d)
+			idx := rng.Intn(db.S[j].Count())
+			EncodeSPtr(obj, SPtr{Part: uint32(j), Off: db.S[j].PtrAt(idx)})
+			binary.LittleEndian.PutUint64(obj[ridOffset:], rid)
+			rid++
+			if _, err := rel.Append(obj); err != nil {
+				db.Close()
+				return nil, err
+			}
+		}
+		db.R = append(db.R, rel)
+	}
+	return db, nil
+}
+
+// OpenDB maps an existing database (no pointer fixup: exact positioning).
+func OpenDB(dir string, d int) (*DB, error) {
+	db := &DB{Dir: dir, D: d}
+	for j := 0; j < d; j++ {
+		seg, err := Open(db.sPath(j))
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		rel, err := OpenRelation(seg)
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		db.S = append(db.S, rel)
+	}
+	for i := 0; i < d; i++ {
+		seg, err := Open(db.rPath(i))
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		rel, err := OpenRelation(seg)
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		db.R = append(db.R, rel)
+		db.ObjSize = rel.ObjSize()
+	}
+	return db, nil
+}
+
+func (db *DB) rPath(i int) string { return filepath.Join(db.Dir, fmt.Sprintf("R%d.seg", i)) }
+func (db *DB) sPath(j int) string { return filepath.Join(db.Dir, fmt.Sprintf("S%d.seg", j)) }
+
+// Close unmaps all segments.
+func (db *DB) Close() error {
+	var first error
+	for _, rel := range append(append([]*Relation(nil), db.R...), db.S...) {
+		if rel == nil {
+			continue
+		}
+		if err := rel.Segment().Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	db.R, db.S = nil, nil
+	return first
+}
+
+// JoinStats summarizes a join execution over the real store.
+type JoinStats struct {
+	Pairs     int64
+	Signature uint64
+}
+
+func (a *JoinStats) fold(b JoinStats) {
+	a.Pairs += b.Pairs
+	a.Signature += b.Signature
+}
+
+// pairHash signs one joined pair by the R object's id and the S object's
+// identity word, independent of processing order.
+func pairHash(rid uint64, sWord uint64) uint64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:], rid)
+	binary.LittleEndian.PutUint64(buf[8:], sWord)
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// ExpectedStats computes the canonical join result directly from the
+// stored pointers (the ground truth all algorithms must reproduce).
+func (db *DB) ExpectedStats() JoinStats {
+	var st JoinStats
+	for i := range db.R {
+		rel := db.R[i]
+		for x := 0; x < rel.Count(); x++ {
+			obj := rel.Object(x)
+			ptr := DecodeSPtr(obj)
+			s := db.S[ptr.Part].At(ptr.Off)
+			st.Pairs++
+			st.Signature += pairHash(binary.LittleEndian.Uint64(obj[ridOffset:]),
+				binary.LittleEndian.Uint64(s))
+		}
+	}
+	return st
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Verify checks the database's structural integrity: every segment has a
+// valid root relation, every R join attribute names an existing S object
+// at a properly aligned offset, and identity words are unique. It
+// returns the first problem found.
+func (db *DB) Verify() error {
+	if len(db.R) != db.D || len(db.S) != db.D {
+		return fmt.Errorf("mstore: %d/%d relations for D=%d", len(db.R), len(db.S), db.D)
+	}
+	for j, rel := range db.S {
+		if rel.Count() > rel.Capacity() {
+			return fmt.Errorf("mstore: S%d count %d exceeds capacity %d", j, rel.Count(), rel.Capacity())
+		}
+	}
+	seen := make(map[uint64]struct{})
+	for i, rel := range db.R {
+		for x := 0; x < rel.Count(); x++ {
+			obj := rel.Object(x)
+			ptr := DecodeSPtr(obj)
+			if int(ptr.Part) >= db.D {
+				return fmt.Errorf("mstore: R%d[%d] points to partition %d", i, x, ptr.Part)
+			}
+			s := db.S[ptr.Part]
+			idx := s.IndexOf(ptr.Off)
+			if idx < 0 || idx >= s.Count() || s.PtrAt(idx) != ptr.Off {
+				return fmt.Errorf("mstore: R%d[%d] has dangling pointer %d/%d", i, x, ptr.Part, ptr.Off)
+			}
+			rid := binary.LittleEndian.Uint64(obj[ridOffset:])
+			if _, dup := seen[rid]; dup {
+				return fmt.Errorf("mstore: duplicate R id %d", rid)
+			}
+			seen[rid] = struct{}{}
+		}
+	}
+	return nil
+}

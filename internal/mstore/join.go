@@ -1,0 +1,452 @@
+package mstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"mmjoin/internal/pheap"
+)
+
+// joinOne dereferences the join attribute of one R object through the
+// mapped S partition and folds the pair into st.
+func (db *DB) joinOne(obj []byte, st *JoinStats) {
+	ptr := DecodeSPtr(obj)
+	s := db.S[ptr.Part].At(ptr.Off)
+	st.Pairs++
+	st.Signature += pairHash(binary.LittleEndian.Uint64(obj[ridOffset:]),
+		binary.LittleEndian.Uint64(s))
+}
+
+// runParallel runs fn for every partition on its own goroutine and folds
+// the per-partition stats and errors.
+func (db *DB) runParallel(fn func(i int) (JoinStats, error)) (JoinStats, error) {
+	stats := make([]JoinStats, db.D)
+	errs := make([]error, db.D)
+	var wg sync.WaitGroup
+	for i := 0; i < db.D; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			stats[i], errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	var total JoinStats
+	for i := 0; i < db.D; i++ {
+		if errs[i] != nil {
+			return JoinStats{}, errs[i]
+		}
+		total.fold(stats[i])
+	}
+	return total, nil
+}
+
+// tmpRelation creates a throwaway relation file under dir.
+func (db *DB) tmpRelation(dir, name string, capacity int) (*Relation, error) {
+	seg, err := Create(filepath.Join(dir, name), int64(db.ObjSize)*int64(capacity)+4096)
+	if err != nil {
+		return nil, err
+	}
+	return CreateRelation(seg, db.ObjSize, capacity)
+}
+
+// NestedLoops runs the parallel pointer-based nested loops join over the
+// mapped store: pass 0 scans Ri, joining own-partition references
+// immediately and sub-partitioning the rest into temporary RPi,j
+// relations; pass 1 walks the sub-partitions in staggered phases.
+func (db *DB) NestedLoops(tmpDir string) (JoinStats, error) {
+	if err := os.MkdirAll(tmpDir, 0o755); err != nil {
+		return JoinStats{}, err
+	}
+	return db.runParallel(func(i int) (JoinStats, error) {
+		var st JoinStats
+		ri := db.R[i]
+		rp := make([]*Relation, db.D)
+		for j := 0; j < db.D; j++ {
+			if j == i {
+				continue
+			}
+			rel, err := db.tmpRelation(tmpDir, fmt.Sprintf("RP%d_%d.seg", i, j), ri.Count())
+			if err != nil {
+				return st, err
+			}
+			rp[j] = rel
+		}
+		defer func() {
+			for _, rel := range rp {
+				if rel != nil {
+					rel.Segment().Delete()
+				}
+			}
+		}()
+
+		// Pass 0.
+		for x := 0; x < ri.Count(); x++ {
+			obj := ri.Object(x)
+			if part := int(DecodeSPtr(obj).Part); part == i {
+				db.joinOne(obj, &st)
+			} else if _, err := rp[part].Append(obj); err != nil {
+				return st, err
+			}
+		}
+		// Pass 1: staggered phases (no synchronization, as in §5.1).
+		for t := 1; t < db.D; t++ {
+			j := (i + t) % db.D
+			sub := rp[j]
+			for x := 0; x < sub.Count(); x++ {
+				db.joinOne(sub.Object(x), &st)
+			}
+		}
+		return st, nil
+	})
+}
+
+// SortMerge runs the parallel pointer-based sort-merge join: passes 0/1
+// form the RSj partitions (one temporary relation per writer to keep
+// appends single-writer), each RSi is concatenated and heap-sorted in
+// place by the S-pointer inside the mapped memory, and the final scan
+// reads Si in address order.
+func (db *DB) SortMerge(tmpDir string) (JoinStats, error) {
+	if err := os.MkdirAll(tmpDir, 0o755); err != nil {
+		return JoinStats{}, err
+	}
+	d := db.D
+	// pieces[j][i]: R objects referencing Sj found by the scanner of Ri.
+	pieces := make([][]*Relation, d)
+	for j := range pieces {
+		pieces[j] = make([]*Relation, d)
+	}
+	var mu sync.Mutex
+	_, err := db.runParallel(func(i int) (JoinStats, error) {
+		ri := db.R[i]
+		local := make([]*Relation, d)
+		for j := 0; j < d; j++ {
+			rel, err := db.tmpRelation(tmpDir, fmt.Sprintf("sm_%d_%d.seg", j, i), ri.Count())
+			if err != nil {
+				return JoinStats{}, err
+			}
+			local[j] = rel
+		}
+		for x := 0; x < ri.Count(); x++ {
+			obj := ri.Object(x)
+			if _, err := local[DecodeSPtr(obj).Part].Append(obj); err != nil {
+				return JoinStats{}, err
+			}
+		}
+		mu.Lock()
+		for j := 0; j < d; j++ {
+			pieces[j][i] = local[j]
+		}
+		mu.Unlock()
+		return JoinStats{}, nil
+	})
+	if err != nil {
+		return JoinStats{}, err
+	}
+	defer func() {
+		for j := range pieces {
+			for i := range pieces[j] {
+				if pieces[j][i] != nil {
+					pieces[j][i].Segment().Delete()
+				}
+			}
+		}
+	}()
+
+	return db.runParallel(func(i int) (JoinStats, error) {
+		var st JoinStats
+		total := 0
+		for _, piece := range pieces[i] {
+			total += piece.Count()
+		}
+		rs, err := db.tmpRelation(tmpDir, fmt.Sprintf("RS%d.seg", i), total)
+		if err != nil {
+			return st, err
+		}
+		defer rs.Segment().Delete()
+		for _, piece := range pieces[i] {
+			for x := 0; x < piece.Count(); x++ {
+				if _, err := rs.Append(piece.Object(x)); err != nil {
+					return st, err
+				}
+			}
+		}
+		// Heap-sort a pointer array over the mapped records, then apply
+		// the permutation in place so the final scan is sequential in
+		// both RSi and Si.
+		handles := make([]int32, rs.Count())
+		for h := range handles {
+			handles[h] = int32(h)
+		}
+		pheap.Sort(handles, func(a, b int32) bool {
+			return DecodeSPtr(rs.Object(int(a))).Off < DecodeSPtr(rs.Object(int(b))).Off
+		})
+		permuteRecords(rs, handles)
+		for x := 0; x < rs.Count(); x++ {
+			db.joinOne(rs.Object(x), &st)
+		}
+		return st, nil
+	})
+}
+
+// permuteRecords reorders the relation so record x becomes the record
+// previously at handles[x], using cycle-chasing with one scratch record.
+func permuteRecords(rel *Relation, handles []int32) {
+	n := len(handles)
+	visited := make([]bool, n)
+	scratch := make([]byte, rel.ObjSize())
+	for start := 0; start < n; start++ {
+		if visited[start] || int(handles[start]) == start {
+			visited[start] = true
+			continue
+		}
+		copy(scratch, rel.Object(start))
+		x := start
+		for {
+			src := int(handles[x])
+			visited[x] = true
+			if src == start {
+				copy(rel.Object(x), scratch)
+				break
+			}
+			copy(rel.Object(x), rel.Object(src))
+			x = src
+		}
+	}
+}
+
+// Grace runs the parallel pointer-based Grace join: the scanners hash
+// every R object into one of k order-preserving buckets per S partition
+// (bucket files are shared, mutex-guarded appends), then each partition's
+// buckets are probed in order — an in-memory table per bucket, chains
+// walked in ascending S address.
+func (db *DB) Grace(tmpDir string, k int) (JoinStats, error) {
+	if k < 1 {
+		return JoinStats{}, fmt.Errorf("mstore: Grace needs k >= 1, got %d", k)
+	}
+	if err := os.MkdirAll(tmpDir, 0o755); err != nil {
+		return JoinStats{}, err
+	}
+	d := db.D
+	type lockedRel struct {
+		mu  sync.Mutex
+		rel *Relation
+	}
+	// The order-preserving hash: bucket by position of the S offset
+	// within the partition's data area.
+	bucketOf := func(ptr SPtr) int {
+		rel := db.S[ptr.Part]
+		idx := rel.IndexOf(ptr.Off)
+		b := idx * k / rel.Count()
+		if b >= k {
+			b = k - 1
+		}
+		return b
+	}
+
+	// Counting pass: size each bucket file exactly (a real system would
+	// size from partition statistics).
+	counts := make([][]int, d)
+	for j := range counts {
+		counts[j] = make([]int, k)
+	}
+	for _, rel := range db.R {
+		for x := 0; x < rel.Count(); x++ {
+			ptr := DecodeSPtr(rel.Object(x))
+			counts[ptr.Part][bucketOf(ptr)]++
+		}
+	}
+	buckets := make([][]*lockedRel, d)
+	for j := 0; j < d; j++ {
+		buckets[j] = make([]*lockedRel, k)
+		for b := 0; b < k; b++ {
+			rel, err := db.tmpRelation(tmpDir, fmt.Sprintf("gr_%d_%d.seg", j, b), counts[j][b]+1)
+			if err != nil {
+				return JoinStats{}, err
+			}
+			buckets[j][b] = &lockedRel{rel: rel}
+		}
+	}
+	defer func() {
+		for j := range buckets {
+			for _, lr := range buckets[j] {
+				lr.rel.Segment().Delete()
+			}
+		}
+	}()
+
+	if _, err := db.runParallel(func(i int) (JoinStats, error) {
+		ri := db.R[i]
+		for x := 0; x < ri.Count(); x++ {
+			obj := ri.Object(x)
+			ptr := DecodeSPtr(obj)
+			lr := buckets[ptr.Part][bucketOf(ptr)]
+			lr.mu.Lock()
+			_, err := lr.rel.Append(obj)
+			lr.mu.Unlock()
+			if err != nil {
+				return JoinStats{}, err
+			}
+		}
+		return JoinStats{}, nil
+	}); err != nil {
+		return JoinStats{}, err
+	}
+
+	return db.runParallel(func(i int) (JoinStats, error) {
+		var st JoinStats
+		for b := 0; b < k; b++ {
+			rel := buckets[i][b].rel
+			// In-memory hash table: common references share a chain.
+			table := make(map[Ptr][]int, rel.Count())
+			for x := 0; x < rel.Count(); x++ {
+				off := DecodeSPtr(rel.Object(x)).Off
+				table[off] = append(table[off], x)
+			}
+			// Chains in ascending S address: each S object is read once,
+			// sequentially.
+			offs := make([]Ptr, 0, len(table))
+			for off := range table {
+				offs = append(offs, off)
+			}
+			sort.Slice(offs, func(a, b int) bool { return offs[a] < offs[b] })
+			for _, off := range offs {
+				for _, x := range table[off] {
+					db.joinOne(rel.Object(x), &st)
+				}
+			}
+		}
+		return st, nil
+	})
+}
+
+// HybridHash runs the parallel pointer-based hybrid-hash join over the
+// mapped store: references into a resident prefix of each S partition
+// (residentFrac of its objects) join immediately during the scan and
+// never touch temporary storage; the remainder goes through Grace-style
+// ordered buckets.
+func (db *DB) HybridHash(tmpDir string, k int, residentFrac float64) (JoinStats, error) {
+	if k < 1 {
+		return JoinStats{}, fmt.Errorf("mstore: HybridHash needs k >= 1, got %d", k)
+	}
+	if residentFrac < 0 || residentFrac > 1 {
+		return JoinStats{}, fmt.Errorf("mstore: residentFrac %g out of [0,1]", residentFrac)
+	}
+	if err := os.MkdirAll(tmpDir, 0o755); err != nil {
+		return JoinStats{}, err
+	}
+	d := db.D
+	residentUpTo := make([]int, d)
+	for j := 0; j < d; j++ {
+		residentUpTo[j] = int(residentFrac * float64(db.S[j].Count()))
+	}
+	isResident := func(ptr SPtr) bool {
+		return db.S[ptr.Part].IndexOf(ptr.Off) < residentUpTo[ptr.Part]
+	}
+	bucketOf := func(ptr SPtr) int {
+		rel := db.S[ptr.Part]
+		lo := residentUpTo[ptr.Part]
+		span := rel.Count() - lo
+		if span <= 0 {
+			return 0
+		}
+		b := (rel.IndexOf(ptr.Off) - lo) * k / span
+		if b >= k {
+			b = k - 1
+		}
+		return b
+	}
+
+	// Counting pass for exact bucket sizing.
+	counts := make([][]int, d)
+	for j := range counts {
+		counts[j] = make([]int, k)
+	}
+	for _, rel := range db.R {
+		for x := 0; x < rel.Count(); x++ {
+			if ptr := DecodeSPtr(rel.Object(x)); !isResident(ptr) {
+				counts[ptr.Part][bucketOf(ptr)]++
+			}
+		}
+	}
+	type lockedRel struct {
+		mu  sync.Mutex
+		rel *Relation
+	}
+	buckets := make([][]*lockedRel, d)
+	for j := 0; j < d; j++ {
+		buckets[j] = make([]*lockedRel, k)
+		for b := 0; b < k; b++ {
+			rel, err := db.tmpRelation(tmpDir, fmt.Sprintf("hh_%d_%d.seg", j, b), counts[j][b]+1)
+			if err != nil {
+				return JoinStats{}, err
+			}
+			buckets[j][b] = &lockedRel{rel: rel}
+		}
+	}
+	defer func() {
+		for j := range buckets {
+			for _, lr := range buckets[j] {
+				lr.rel.Segment().Delete()
+			}
+		}
+	}()
+
+	// Scan: resident references join now, the rest partition.
+	partitioned, err := db.runParallel(func(i int) (JoinStats, error) {
+		var st JoinStats
+		ri := db.R[i]
+		for x := 0; x < ri.Count(); x++ {
+			obj := ri.Object(x)
+			ptr := DecodeSPtr(obj)
+			if isResident(ptr) {
+				db.joinOne(obj, &st)
+				continue
+			}
+			lr := buckets[ptr.Part][bucketOf(ptr)]
+			lr.mu.Lock()
+			_, err := lr.rel.Append(obj)
+			lr.mu.Unlock()
+			if err != nil {
+				return st, err
+			}
+		}
+		return st, nil
+	})
+	if err != nil {
+		return JoinStats{}, err
+	}
+
+	// Probe the overflow buckets as in Grace.
+	probed, err := db.runParallel(func(i int) (JoinStats, error) {
+		var st JoinStats
+		for b := 0; b < k; b++ {
+			rel := buckets[i][b].rel
+			table := make(map[Ptr][]int, rel.Count())
+			for x := 0; x < rel.Count(); x++ {
+				off := DecodeSPtr(rel.Object(x)).Off
+				table[off] = append(table[off], x)
+			}
+			offs := make([]Ptr, 0, len(table))
+			for off := range table {
+				offs = append(offs, off)
+			}
+			sort.Slice(offs, func(a, b int) bool { return offs[a] < offs[b] })
+			for _, off := range offs {
+				for _, x := range table[off] {
+					db.joinOne(rel.Object(x), &st)
+				}
+			}
+		}
+		return st, nil
+	})
+	if err != nil {
+		return JoinStats{}, err
+	}
+	partitioned.fold(probed)
+	return partitioned, nil
+}

@@ -1,0 +1,304 @@
+package mstore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RTree is a persistent, bulk-loaded R-tree stored inside a segment,
+// packed with the Sort-Tile-Recursive (STR) algorithm: entries are
+// sorted by x, tiled into vertical slices, sorted by y within each
+// slice, and packed into full leaves, recursively up to the root. STR
+// packing yields near-optimal space utilization and query performance
+// for read-mostly spatial data — the natural fit for the GIS workloads
+// the paper's introduction cites, and the second of the µDatabase
+// structures ("B-Trees, R-Trees") demonstrated in mapped memory.
+//
+// Like the B-tree, all internal references are virtual pointers, so the
+// index works unchanged after the segment is reopened.
+type RTree struct {
+	seg    *Segment
+	hdr    Ptr
+	fanout int
+}
+
+// Rect is an axis-aligned bounding rectangle.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Valid reports whether the rectangle is non-degenerate (min ≤ max).
+func (r Rect) Valid() bool { return r.MinX <= r.MaxX && r.MinY <= r.MaxY }
+
+// Intersects reports whether two rectangles overlap (boundaries touch
+// counts as overlap).
+func (r Rect) Intersects(o Rect) bool {
+	return r.MinX <= o.MaxX && o.MinX <= r.MaxX && r.MinY <= o.MaxY && o.MinY <= r.MaxY
+}
+
+// union grows r to cover o.
+func (r Rect) union(o Rect) Rect {
+	return Rect{
+		MinX: math.Min(r.MinX, o.MinX), MinY: math.Min(r.MinY, o.MinY),
+		MaxX: math.Max(r.MaxX, o.MaxX), MaxY: math.Max(r.MaxY, o.MaxY),
+	}
+}
+
+// SpatialEntry is one indexed item: a rectangle and the virtual pointer
+// of the object it describes.
+type SpatialEntry struct {
+	Rect Rect
+	Item Ptr
+}
+
+// R-tree header: magic u32, fanout u32, root Ptr, height u32, count u32.
+const (
+	rtMagic    = 0x52545231 // "RTR1"
+	rtHdrBytes = 24
+)
+
+// Node layout: count u32, pad u32, then fanout entries of
+// (minx, miny, maxx, maxy float64, ref u64) = 40 bytes each. In leaves
+// ref is the item pointer; in internal nodes it is the child node.
+const rtEntryBytes = 40
+
+func rtNodeBytes(fanout int) int64 { return int64(8 + fanout*rtEntryBytes) }
+
+// BuildRTree bulk-loads an R-tree over the entries with the given fanout
+// (0 ⇒ 32) using STR packing and returns the persistent tree. The entry
+// slice is reordered in place.
+func BuildRTree(seg *Segment, entries []SpatialEntry, fanout int) (*RTree, error) {
+	if fanout == 0 {
+		fanout = 32
+	}
+	if fanout < 2 {
+		return nil, fmt.Errorf("mstore: rtree fanout %d below 2", fanout)
+	}
+	for i, e := range entries {
+		if !e.Rect.Valid() {
+			return nil, fmt.Errorf("mstore: entry %d has an invalid rectangle", i)
+		}
+	}
+	hdr, err := seg.Alloc(rtHdrBytes)
+	if err != nil {
+		return nil, err
+	}
+	t := &RTree{seg: seg, hdr: hdr, fanout: fanout}
+	seg.PutU32(hdr, rtMagic)
+	seg.PutU32(hdr+4, uint32(fanout))
+
+	level, err := t.packLeaves(entries)
+	if err != nil {
+		return nil, err
+	}
+	height := uint32(1)
+	for len(level) > 1 {
+		level, err = t.packInternal(level)
+		if err != nil {
+			return nil, err
+		}
+		height++
+	}
+	var root Ptr
+	if len(level) == 1 {
+		root = Ptr(level[0].Item)
+	} else {
+		// Empty tree: a single empty leaf.
+		root, err = t.newNode()
+		if err != nil {
+			return nil, err
+		}
+	}
+	seg.PutU64(hdr+8, uint64(root))
+	seg.PutU32(hdr+16, height)
+	seg.PutU32(hdr+20, uint32(len(entries)))
+	return t, nil
+}
+
+// OpenRTree attaches to a tree previously built at hdr.
+func OpenRTree(seg *Segment, hdr Ptr) (*RTree, error) {
+	if seg.U32(hdr) != rtMagic {
+		return nil, fmt.Errorf("mstore: no rtree at %d", hdr)
+	}
+	return &RTree{seg: seg, hdr: hdr, fanout: int(seg.U32(hdr + 4))}, nil
+}
+
+// Head returns the tree's persistent header pointer.
+func (t *RTree) Head() Ptr { return t.hdr }
+
+// Len returns the number of indexed entries.
+func (t *RTree) Len() int { return int(t.seg.U32(t.hdr + 20)) }
+
+// Height returns the number of node levels.
+func (t *RTree) Height() int { return int(t.seg.U32(t.hdr + 16)) }
+
+func (t *RTree) root() Ptr { return Ptr(t.seg.U64(t.hdr + 8)) }
+
+func (t *RTree) newNode() (Ptr, error) {
+	n, err := t.seg.Alloc(rtNodeBytes(t.fanout))
+	if err != nil {
+		return 0, err
+	}
+	t.seg.PutU32(n, 0)
+	return n, nil
+}
+
+func (t *RTree) nodeCount(n Ptr) int { return int(t.seg.U32(n)) }
+
+func (t *RTree) entryAt(n Ptr, i int) SpatialEntry {
+	base := n + 8 + Ptr(i*rtEntryBytes)
+	return SpatialEntry{
+		Rect: Rect{
+			MinX: math.Float64frombits(t.seg.U64(base)),
+			MinY: math.Float64frombits(t.seg.U64(base + 8)),
+			MaxX: math.Float64frombits(t.seg.U64(base + 16)),
+			MaxY: math.Float64frombits(t.seg.U64(base + 24)),
+		},
+		Item: Ptr(t.seg.U64(base + 32)),
+	}
+}
+
+func (t *RTree) setEntryAt(n Ptr, i int, e SpatialEntry) {
+	base := n + 8 + Ptr(i*rtEntryBytes)
+	t.seg.PutU64(base, math.Float64bits(e.Rect.MinX))
+	t.seg.PutU64(base+8, math.Float64bits(e.Rect.MinY))
+	t.seg.PutU64(base+16, math.Float64bits(e.Rect.MaxX))
+	t.seg.PutU64(base+24, math.Float64bits(e.Rect.MaxY))
+	t.seg.PutU64(base+32, uint64(e.Item))
+}
+
+// packLevel groups pre-ordered entries into nodes of up to fanout and
+// returns the parent-level entries (node MBR + node pointer). leaf marks
+// whether these are leaf nodes.
+func (t *RTree) packLevel(entries []SpatialEntry, leaf bool) ([]SpatialEntry, error) {
+	var parents []SpatialEntry
+	for lo := 0; lo < len(entries); lo += t.fanout {
+		hi := lo + t.fanout
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		n, err := t.newNode()
+		if err != nil {
+			return nil, err
+		}
+		mbr := entries[lo].Rect
+		for i := lo; i < hi; i++ {
+			t.setEntryAt(n, i-lo, entries[i])
+			mbr = mbr.union(entries[i].Rect)
+		}
+		t.seg.PutU32(n, uint32(hi-lo))
+		flag := uint32(0)
+		if leaf {
+			flag = 1
+		}
+		t.seg.PutU32(n+4, flag)
+		parents = append(parents, SpatialEntry{Rect: mbr, Item: n})
+	}
+	return parents, nil
+}
+
+func (t *RTree) isLeafNode(n Ptr) bool { return t.seg.U32(n+4) == 1 }
+
+// strSort orders entries by STR: x-sort, slice, y-sort within slices.
+func strSort(entries []SpatialEntry, fanout int) {
+	n := len(entries)
+	if n == 0 {
+		return
+	}
+	leaves := (n + fanout - 1) / fanout
+	slices := int(math.Ceil(math.Sqrt(float64(leaves))))
+	sort.SliceStable(entries, func(a, b int) bool {
+		return center(entries[a].Rect.MinX, entries[a].Rect.MaxX) <
+			center(entries[b].Rect.MinX, entries[b].Rect.MaxX)
+	})
+	perSlice := slices * fanout
+	for lo := 0; lo < n; lo += perSlice {
+		hi := lo + perSlice
+		if hi > n {
+			hi = n
+		}
+		s := entries[lo:hi]
+		sort.SliceStable(s, func(a, b int) bool {
+			return center(s[a].Rect.MinY, s[a].Rect.MaxY) <
+				center(s[b].Rect.MinY, s[b].Rect.MaxY)
+		})
+	}
+}
+
+func center(lo, hi float64) float64 { return (lo + hi) / 2 }
+
+func (t *RTree) packLeaves(entries []SpatialEntry) ([]SpatialEntry, error) {
+	strSort(entries, t.fanout)
+	return t.packLevel(entries, true)
+}
+
+func (t *RTree) packInternal(children []SpatialEntry) ([]SpatialEntry, error) {
+	strSort(children, t.fanout)
+	return t.packLevel(children, false)
+}
+
+// Search calls fn for every indexed entry whose rectangle intersects q,
+// stopping early if fn returns false.
+func (t *RTree) Search(q Rect, fn func(e SpatialEntry) bool) {
+	if t.Len() == 0 {
+		return
+	}
+	t.search(t.root(), q, fn)
+}
+
+func (t *RTree) search(n Ptr, q Rect, fn func(e SpatialEntry) bool) bool {
+	c := t.nodeCount(n)
+	leaf := t.isLeafNode(n)
+	for i := 0; i < c; i++ {
+		e := t.entryAt(n, i)
+		if !e.Rect.Intersects(q) {
+			continue
+		}
+		if leaf {
+			if !fn(e) {
+				return false
+			}
+		} else if !t.search(e.Item, q, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Verify checks that every parent rectangle covers its children and that
+// exactly Len entries are reachable.
+func (t *RTree) Verify() error {
+	if t.Len() == 0 {
+		return nil
+	}
+	seen := 0
+	var walk func(n Ptr, bound Rect, isRoot bool) error
+	walk = func(n Ptr, bound Rect, isRoot bool) error {
+		c := t.nodeCount(n)
+		leaf := t.isLeafNode(n)
+		for i := 0; i < c; i++ {
+			e := t.entryAt(n, i)
+			if !isRoot && !bound.Intersects(e.Rect) {
+				return fmt.Errorf("mstore: rtree child escapes parent MBR")
+			}
+			if !isRoot && (e.Rect.MinX < bound.MinX || e.Rect.MinY < bound.MinY ||
+				e.Rect.MaxX > bound.MaxX || e.Rect.MaxY > bound.MaxY) {
+				return fmt.Errorf("mstore: rtree MBR does not cover child")
+			}
+			if leaf {
+				seen++
+			} else if err := walk(e.Item, e.Rect, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root(), Rect{}, true); err != nil {
+		return err
+	}
+	if seen != t.Len() {
+		return fmt.Errorf("mstore: rtree count %d but %d entries reachable", t.Len(), seen)
+	}
+	return nil
+}

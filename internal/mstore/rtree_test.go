@@ -1,0 +1,229 @@
+package mstore
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func buildRTreeFixture(t *testing.T, n, fanout int, seed int64) (*Segment, *RTree, []SpatialEntry) {
+	t.Helper()
+	s, err := Create(filepath.Join(t.TempDir(), "rt"), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	rng := rand.New(rand.NewSource(seed))
+	entries := make([]SpatialEntry, n)
+	for i := range entries {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		entries[i] = SpatialEntry{
+			Rect: Rect{MinX: x, MinY: y, MaxX: x + rng.Float64()*10, MaxY: y + rng.Float64()*10},
+			Item: Ptr(i + 1),
+		}
+	}
+	ref := append([]SpatialEntry(nil), entries...)
+	tree, err := BuildRTree(s, entries, fanout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, tree, ref
+}
+
+func TestRTreeBuildAndVerify(t *testing.T) {
+	_, tree, _ := buildRTreeFixture(t, 1000, 16, 1)
+	if tree.Len() != 1000 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	if tree.Height() < 2 {
+		t.Errorf("Height = %d, want >= 2 for 1000 entries at fanout 16", tree.Height())
+	}
+	if err := tree.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRTreeSearchMatchesLinearScan(t *testing.T) {
+	_, tree, ref := buildRTreeFixture(t, 800, 8, 2)
+	queries := []Rect{
+		{MinX: 100, MinY: 100, MaxX: 200, MaxY: 200},
+		{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000},
+		{MinX: 500, MinY: 500, MaxX: 500, MaxY: 500}, // point query
+		{MinX: -10, MinY: -10, MaxX: -5, MaxY: -5},   // empty region
+	}
+	for _, q := range queries {
+		want := map[Ptr]bool{}
+		for _, e := range ref {
+			if e.Rect.Intersects(q) {
+				want[e.Item] = true
+			}
+		}
+		got := map[Ptr]bool{}
+		tree.Search(q, func(e SpatialEntry) bool {
+			if got[e.Item] {
+				t.Fatalf("duplicate result %d", e.Item)
+			}
+			got[e.Item] = true
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("query %+v: %d results, want %d", q, len(got), len(want))
+		}
+		for item := range want {
+			if !got[item] {
+				t.Fatalf("query %+v: missing item %d", q, item)
+			}
+		}
+	}
+}
+
+func TestRTreeSearchEarlyStop(t *testing.T) {
+	_, tree, _ := buildRTreeFixture(t, 500, 8, 3)
+	count := 0
+	tree.Search(Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}, func(e SpatialEntry) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestRTreeEmptyAndErrors(t *testing.T) {
+	s, err := Create(filepath.Join(t.TempDir(), "rt"), 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Before anything is built, headerSize holds zeroes — not a tree.
+	if _, err := OpenRTree(s, headerSize); err == nil {
+		t.Error("OpenRTree on junk succeeded")
+	}
+	tree, err := BuildRTree(s, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 0 {
+		t.Errorf("Len = %d", tree.Len())
+	}
+	tree.Search(Rect{MaxX: 1, MaxY: 1}, func(SpatialEntry) bool {
+		t.Error("empty tree produced a result")
+		return false
+	})
+	if err := tree.Verify(); err != nil {
+		t.Error(err)
+	}
+	if _, err := BuildRTree(s, nil, 1); err == nil {
+		t.Error("fanout 1 accepted")
+	}
+	bad := []SpatialEntry{{Rect: Rect{MinX: 5, MaxX: 1, MinY: 0, MaxY: 1}}}
+	if _, err := BuildRTree(s, bad, 8); err == nil {
+		t.Error("invalid rectangle accepted")
+	}
+}
+
+func TestRTreePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rt")
+	s, err := Create(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	entries := make([]SpatialEntry, 300)
+	for i := range entries {
+		x, y := rng.Float64()*100, rng.Float64()*100
+		entries[i] = SpatialEntry{Rect: Rect{MinX: x, MinY: y, MaxX: x + 1, MaxY: y + 1}, Item: Ptr(i + 1)}
+	}
+	tree, err := BuildRTree(s, entries, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetRoot(tree.Head())
+	q := Rect{MinX: 20, MinY: 20, MaxX: 40, MaxY: 40}
+	want := 0
+	tree.Search(q, func(SpatialEntry) bool { want++; return true })
+	s.Close()
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	tree2, err := OpenRTree(s2, s2.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	tree2.Search(q, func(SpatialEntry) bool { got++; return true })
+	if got != want || want == 0 {
+		t.Errorf("reopened search found %d, want %d (>0)", got, want)
+	}
+	if err := tree2.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for random data and random queries, the R-tree returns
+// exactly the linear-scan result set.
+func TestQuickRTreeSearchComplete(t *testing.T) {
+	f := func(seed int64, rawN uint8, rawQ [4]uint8) bool {
+		n := int(rawN)%300 + 1
+		s, err := Create(filepath.Join(t.TempDir(), "rt"), 1<<20)
+		if err != nil {
+			return false
+		}
+		defer s.Close()
+		rng := rand.New(rand.NewSource(seed))
+		entries := make([]SpatialEntry, n)
+		for i := range entries {
+			x, y := rng.Float64()*256, rng.Float64()*256
+			entries[i] = SpatialEntry{
+				Rect: Rect{MinX: x, MinY: y, MaxX: x + rng.Float64()*20, MaxY: y + rng.Float64()*20},
+				Item: Ptr(i + 1),
+			}
+		}
+		ref := append([]SpatialEntry(nil), entries...)
+		tree, err := BuildRTree(s, entries, 4)
+		if err != nil || tree.Verify() != nil {
+			return false
+		}
+		q := Rect{
+			MinX: float64(rawQ[0]), MinY: float64(rawQ[1]),
+			MaxX: float64(rawQ[0]) + float64(rawQ[2]),
+			MaxY: float64(rawQ[1]) + float64(rawQ[3]),
+		}
+		want := 0
+		for _, e := range ref {
+			if e.Rect.Intersects(q) {
+				want++
+			}
+		}
+		got := 0
+		tree.Search(q, func(SpatialEntry) bool { got++; return true })
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectHelpers(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	b := Rect{10, 10, 20, 20} // touching corners count as intersecting
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("touching rectangles should intersect")
+	}
+	c := Rect{11, 11, 12, 12}
+	if a.Intersects(c) {
+		t.Error("disjoint rectangles intersect")
+	}
+	u := a.union(c)
+	if u != (Rect{0, 0, 12, 12}) {
+		t.Errorf("union = %+v", u)
+	}
+	if (Rect{5, 5, 1, 10}).Valid() {
+		t.Error("degenerate rect valid")
+	}
+}

@@ -1,0 +1,250 @@
+package pheap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intLess(keys []int) func(a, b int32) bool {
+	return func(a, b int32) bool { return keys[a] < keys[b] }
+}
+
+func TestFloydBuildsValidHeap(t *testing.T) {
+	keys := []int{5, 3, 8, 1, 9, 2, 7, 6, 4, 0}
+	items := make([]int32, len(keys))
+	for i := range items {
+		items[i] = int32(i)
+	}
+	h := NewFloyd(items, intLess(keys))
+	if err := h.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if got := keys[h.Min()]; got != 0 {
+		t.Errorf("Min key = %d, want 0", got)
+	}
+}
+
+func TestDeleteMinDrainsSorted(t *testing.T) {
+	keys := []int{5, 3, 8, 1, 9}
+	items := []int32{0, 1, 2, 3, 4}
+	h := NewFloyd(items, intLess(keys))
+	var out []int
+	for h.Len() > 0 {
+		out = append(out, keys[h.DeleteMin()])
+	}
+	if !sort.IntsAreSorted(out) {
+		t.Errorf("drain order %v not sorted", out)
+	}
+}
+
+func TestInsertThenDelete(t *testing.T) {
+	keys := []int{4, 2, 7, 1}
+	h := NewEmpty(4, intLess(keys))
+	for i := range keys {
+		h.Insert(int32(i))
+		if err := h.Verify(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if keys[h.Min()] != 1 {
+		t.Errorf("Min key = %d", keys[h.Min()])
+	}
+	if h.Len() != 4 {
+		t.Errorf("Len = %d", h.Len())
+	}
+}
+
+func TestReplaceMinEquivalentToDeleteInsert(t *testing.T) {
+	keys := make([]int, 64)
+	rng := rand.New(rand.NewSource(7))
+	for i := range keys {
+		keys[i] = rng.Intn(1000)
+	}
+	items := make([]int32, 32)
+	for i := range items {
+		items[i] = int32(i)
+	}
+	h := NewFloyd(append([]int32(nil), items...), intLess(keys))
+	var got []int
+	for i := 32; i < 64; i++ {
+		got = append(got, keys[h.ReplaceMin(int32(i))])
+		if err := h.Verify(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for h.Len() > 0 {
+		got = append(got, keys[h.DeleteMin()])
+	}
+	// Reference: plain sort of all keys, drained the same way.
+	h2 := NewFloyd(func() []int32 {
+		a := make([]int32, 32)
+		for i := range a {
+			a[i] = int32(i)
+		}
+		return a
+	}(), intLess(keys))
+	var want []int
+	for i := 32; i < 64; i++ {
+		want = append(want, keys[h2.DeleteMin()])
+		h2.Insert(int32(i))
+	}
+	for h2.Len() > 0 {
+		want = append(want, keys[h2.DeleteMin()])
+	}
+	if len(got) != len(want) {
+		t.Fatalf("length mismatch %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("ReplaceMin diverges from delete+insert at %d: %v vs %v", i, got, want)
+		}
+	}
+}
+
+func TestEmptyHeapPanics(t *testing.T) {
+	for name, fn := range map[string]func(h *Heap){
+		"Min":        func(h *Heap) { h.Min() },
+		"DeleteMin":  func(h *Heap) { h.DeleteMin() },
+		"ReplaceMin": func(h *Heap) { h.ReplaceMin(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on empty heap should panic", name)
+				}
+			}()
+			fn(NewEmpty(0, func(a, b int32) bool { return a < b }))
+		}()
+	}
+}
+
+func TestSortMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	keys := make([]int, 500)
+	for i := range keys {
+		keys[i] = rng.Intn(100) // duplicates on purpose
+	}
+	items := make([]int32, len(keys))
+	for i := range items {
+		items[i] = int32(i)
+	}
+	Sort(items, intLess(keys))
+	for i := 1; i < len(items); i++ {
+		if keys[items[i-1]] > keys[items[i]] {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+}
+
+func TestFloydCompareCount(t *testing.T) {
+	// Floyd's construction performs O(n) compares — well under the
+	// n log n of repeated insertion. (The paper uses 1.77n as the
+	// average-case constant for compares.)
+	n := 4096
+	rng := rand.New(rand.NewSource(5))
+	keys := make([]int, n)
+	for i := range keys {
+		keys[i] = rng.Int()
+	}
+	items := make([]int32, n)
+	for i := range items {
+		items[i] = int32(i)
+	}
+	h := NewFloyd(items, intLess(keys))
+	if c := h.Costs().Compares; c > int64(4*n) {
+		t.Errorf("Floyd build used %d compares for n=%d (> 4n)", c, n)
+	}
+}
+
+func TestSortCostScaling(t *testing.T) {
+	// Full heapsort is Θ(n log n) compares.
+	n := 1 << 12
+	rng := rand.New(rand.NewSource(9))
+	keys := make([]int, n)
+	for i := range keys {
+		keys[i] = rng.Int()
+	}
+	items := make([]int32, n)
+	for i := range items {
+		items[i] = int32(i)
+	}
+	c := Sort(items, intLess(keys))
+	logn := 12.0
+	ratio := float64(c.Compares) / (float64(n) * logn)
+	if ratio < 0.5 || ratio > 3.0 {
+		t.Errorf("compares/n·log n = %.2f, outside [0.5, 3]", ratio)
+	}
+	if c.Transfers < int64(2*n) {
+		t.Errorf("Transfers = %d, want >= 2n", c.Transfers)
+	}
+}
+
+// Property: Sort produces a permutation sorted by key for any input.
+func TestQuickSortIsSortingPermutation(t *testing.T) {
+	f := func(raw []int16) bool {
+		keys := make([]int, len(raw))
+		for i, r := range raw {
+			keys[i] = int(r)
+		}
+		items := make([]int32, len(keys))
+		for i := range items {
+			items[i] = int32(i)
+		}
+		Sort(items, intLess(keys))
+		seen := make([]bool, len(items))
+		for i, v := range items {
+			if v < 0 || int(v) >= len(items) || seen[v] {
+				return false
+			}
+			seen[v] = true
+			if i > 0 && keys[items[i-1]] > keys[items[i]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: heap invariant holds after any interleaving of inserts and
+// delete-mins, and the heap behaves like a sorted multiset.
+func TestQuickHeapInvariant(t *testing.T) {
+	f := func(ops []int16) bool {
+		keys := make([]int, 0, len(ops))
+		h := NewEmpty(0, func(a, b int32) bool { return keys[a] < keys[b] })
+		inHeap := 0
+		for _, op := range ops {
+			if op >= 0 || inHeap == 0 {
+				keys = append(keys, int(op))
+				h.Insert(int32(len(keys) - 1))
+				inHeap++
+			} else {
+				minHandle := h.Min()
+				got := h.DeleteMin()
+				if got != minHandle {
+					return false
+				}
+				inHeap--
+			}
+			if h.Verify() != nil {
+				return false
+			}
+		}
+		return h.Len() == inHeap
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCostsAdd(t *testing.T) {
+	a := Costs{Compares: 1, Swaps: 2, Transfers: 3}
+	a.Add(Costs{Compares: 10, Swaps: 20, Transfers: 30})
+	if a.Compares != 11 || a.Swaps != 22 || a.Transfers != 33 {
+		t.Errorf("Add gave %+v", a)
+	}
+}

@@ -1,0 +1,120 @@
+package planner
+
+import (
+	"testing"
+
+	"mmjoin/internal/join"
+	"mmjoin/internal/machine"
+	"mmjoin/internal/model"
+)
+
+func testCalib(t *testing.T) model.Calibration {
+	t.Helper()
+	return model.Calibrate(machine.DefaultConfig(), 800, 1)
+}
+
+func inputs(mem int64) model.Inputs {
+	return model.Inputs{
+		NR: 102400, NS: 102400, R: 128, S: 128, Ptr: 8, D: 4,
+		MRproc: mem,
+	}
+}
+
+func TestChooseSortsCheapestFirst(t *testing.T) {
+	pl := New(testCalib(t), nil)
+	choice, err := pl.Choose(inputs(512 << 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(choice.Candidates) != len(DefaultAlgorithms) {
+		t.Fatalf("%d candidates", len(choice.Candidates))
+	}
+	for i := 1; i < len(choice.Candidates); i++ {
+		if choice.Candidates[i].Predicted < choice.Candidates[i-1].Predicted {
+			t.Error("candidates not sorted")
+		}
+	}
+	if choice.Best.Algorithm != choice.Candidates[0].Algorithm {
+		t.Error("Best differs from first candidate")
+	}
+	if choice.Best.Prediction == nil || choice.Best.Predicted <= 0 {
+		t.Error("missing prediction detail")
+	}
+}
+
+func TestChoiceMatchesPaperOrdering(t *testing.T) {
+	// At scarce memory hash-based plans beat sort-merge, which beats
+	// nested loops (Fig 5's ordering).
+	pl := New(testCalib(t), nil)
+	choice, err := pl.Choose(inputs(int64(0.03 * 102400 * 128)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := choice.Best.Algorithm
+	if best != join.Grace && best != join.HybridHash {
+		t.Errorf("best at scarce memory = %v, want a hash-based plan", best)
+	}
+	worst := choice.Candidates[len(choice.Candidates)-1].Algorithm
+	if worst != join.NestedLoops {
+		t.Errorf("worst at scarce memory = %v, want nested-loops", worst)
+	}
+}
+
+func TestNestedLoopsWinsWithAmpleMemory(t *testing.T) {
+	pl := New(testCalib(t), nil)
+	choice, err := pl.Choose(inputs(16 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := choice.Best.Algorithm; got != join.NestedLoops && got != join.HybridHash {
+		t.Errorf("best with ample memory = %v, want an immediate-join plan", got)
+	}
+}
+
+func TestCrossoversExist(t *testing.T) {
+	pl := New(testCalib(t), []join.Algorithm{join.NestedLoops, join.Grace})
+	xs, err := pl.Crossovers(inputs(0), 64<<10, 16<<20, 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) == 0 {
+		t.Fatal("no crossover between grace and nested loops across the memory range")
+	}
+	// The boundary must hand over from the hash plan to nested loops as
+	// memory grows.
+	last := xs[len(xs)-1]
+	if last.After != join.NestedLoops {
+		t.Errorf("final winner = %v, want nested-loops", last.After)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	pl := New(testCalib(t), []join.Algorithm{join.Algorithm(42)})
+	if _, err := pl.Choose(inputs(1 << 20)); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	empty := New(testCalib(t), []join.Algorithm{})
+	if _, err := empty.Choose(inputs(1 << 20)); err == nil {
+		t.Error("empty candidate set accepted")
+	}
+	good := New(testCalib(t), nil)
+	if _, err := good.Crossovers(inputs(0), 0, 10, 1); err == nil {
+		t.Error("bad sweep bounds accepted")
+	}
+}
+
+func TestPointerPlansBeatTraditionalAnalytically(t *testing.T) {
+	// The model itself should show the pointer advantage the paper
+	// claims: with the traditional baseline added as a candidate, a
+	// pointer-based plan still wins at any memory level.
+	pl := New(testCalib(t), append(append([]join.Algorithm{}, DefaultAlgorithms...), join.TraditionalGrace))
+	for _, mem := range []int64{256 << 10, 4 << 20} {
+		choice, err := pl.Choose(inputs(mem))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if choice.Best.Algorithm == join.TraditionalGrace {
+			t.Errorf("mem=%d: traditional plan won", mem)
+		}
+	}
+}

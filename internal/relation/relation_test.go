@@ -1,0 +1,290 @@
+package relation
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func smallSpec() Spec {
+	s := DefaultSpec()
+	s.NR, s.NS = 4000, 4000
+	return s
+}
+
+func TestValidate(t *testing.T) {
+	good := DefaultSpec()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
+	}
+	bad := []Spec{
+		{},
+		{NR: 10, NS: 10, RSize: 4, PtrSize: 8, SSize: 8, D: 2},              // ptr larger than object
+		{NR: 10, NS: 10, RSize: 16, PtrSize: 8, SSize: 8, D: 20},            // fewer objects than partitions
+		{NR: 10, NS: 10, RSize: 16, PtrSize: 8, SSize: 8, D: 2, Dist: Zipf}, // theta missing
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestPartitionSizesBalanced(t *testing.T) {
+	s := smallSpec()
+	s.NR = 4002 // not divisible by 4
+	w := MustGenerate(s)
+	total := 0
+	for i := 0; i < s.D; i++ {
+		n := w.SizeR(i)
+		if n != 1000 && n != 1001 {
+			t.Errorf("SizeR(%d) = %d", i, n)
+		}
+		if len(w.Refs[i]) != n {
+			t.Errorf("Refs[%d] has %d entries, want %d", i, len(w.Refs[i]), n)
+		}
+		total += n
+	}
+	if total != s.NR {
+		t.Errorf("partition sizes sum to %d, want %d", total, s.NR)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(smallSpec())
+	b := MustGenerate(smallSpec())
+	for i := range a.Refs {
+		for x := range a.Refs[i] {
+			if a.Refs[i][x] != b.Refs[i][x] {
+				t.Fatalf("generation not deterministic at [%d][%d]", i, x)
+			}
+		}
+	}
+}
+
+func TestUniformSkewNearOne(t *testing.T) {
+	w := MustGenerate(smallSpec())
+	skew := w.Skew()
+	if skew < 1.0 || skew > 1.15 {
+		t.Errorf("uniform skew = %g, want ~1.0 (paper: very close to 1)", skew)
+	}
+}
+
+func TestPointersInRange(t *testing.T) {
+	for _, dist := range []Distribution{Uniform, Zipf, Local, HotPartition} {
+		s := smallSpec()
+		s.Dist = dist
+		s.ZipfTheta = 1.5
+		s.LocalFrac = 0.8
+		s.HotFrac = 0.5
+		w := MustGenerate(s)
+		for i := range w.Refs {
+			for _, ptr := range w.Refs[i] {
+				if ptr.Part < 0 || int(ptr.Part) >= s.D {
+					t.Fatalf("%v: partition %d out of range", dist, ptr.Part)
+				}
+				if ptr.Index < 0 || int(ptr.Index) >= w.SizeS(int(ptr.Part)) {
+					t.Fatalf("%v: index %d out of range for S%d", dist, ptr.Index, ptr.Part)
+				}
+			}
+		}
+	}
+}
+
+func TestLocalDistribution(t *testing.T) {
+	s := smallSpec()
+	s.Dist = Local
+	s.LocalFrac = 0.9
+	w := MustGenerate(s)
+	counts := w.SubCounts()
+	for i := 0; i < s.D; i++ {
+		frac := float64(counts[i][i]) / float64(w.SizeR(i))
+		if frac < 0.85 {
+			t.Errorf("R%d self-references %.2f, want >= 0.85", i, frac)
+		}
+	}
+}
+
+func TestHotPartitionSkew(t *testing.T) {
+	s := smallSpec()
+	s.Dist = HotPartition
+	s.HotFrac = 0.5
+	w := MustGenerate(s)
+	if skew := w.Skew(); skew < 1.5 {
+		t.Errorf("hot-partition skew = %g, want > 1.5", skew)
+	}
+}
+
+func TestSubCountsConsistentWithRSCounts(t *testing.T) {
+	w := MustGenerate(smallSpec())
+	sub := w.SubCounts()
+	rs := w.RSCounts()
+	for j := 0; j < w.Spec.D; j++ {
+		sum := 0
+		for i := 0; i < w.Spec.D; i++ {
+			sum += sub[i][j]
+		}
+		if sum != rs[j] {
+			t.Errorf("RSCounts[%d] = %d, want %d", j, rs[j], sum)
+		}
+	}
+}
+
+func TestJoinSignaturePairCount(t *testing.T) {
+	w := MustGenerate(smallSpec())
+	_, pairs := w.JoinSignature()
+	if pairs != int64(w.Spec.NR) {
+		t.Errorf("pairs = %d, want %d (every R object joins exactly once)", pairs, w.Spec.NR)
+	}
+}
+
+func TestSPtrLessOrdering(t *testing.T) {
+	cases := []struct {
+		a, b SPtr
+		want bool
+	}{
+		{SPtr{0, 5}, SPtr{1, 0}, true},
+		{SPtr{1, 0}, SPtr{0, 5}, false},
+		{SPtr{1, 3}, SPtr{1, 4}, true},
+		{SPtr{1, 4}, SPtr{1, 4}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.want {
+			t.Errorf("%v.Less(%v) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestBytesHelpers(t *testing.T) {
+	w := MustGenerate(smallSpec())
+	if got := w.BytesR(0); got != int64(1000*128) {
+		t.Errorf("BytesR(0) = %d", got)
+	}
+	if got := w.BytesS(0); got != int64(1000*128) {
+		t.Errorf("BytesS(0) = %d", got)
+	}
+}
+
+// Property: for any valid seed and sizes, sub-partition counts sum to
+// partition sizes and the signature is seed-stable.
+func TestQuickWorkloadConsistency(t *testing.T) {
+	f := func(seed int64, rawNR, rawNS uint16) bool {
+		s := DefaultSpec()
+		s.Seed = seed
+		s.NR = int(rawNR)%2000 + 8
+		s.NS = int(rawNS)%2000 + 8
+		w, err := Generate(s)
+		if err != nil {
+			return false
+		}
+		counts := w.SubCounts()
+		for i := 0; i < s.D; i++ {
+			sum := 0
+			for _, c := range counts[i] {
+				sum += c
+			}
+			if sum != w.SizeR(i) {
+				return false
+			}
+		}
+		sig1, n1 := w.JoinSignature()
+		w2 := MustGenerate(s)
+		sig2, n2 := w2.JoinSignature()
+		return sig1 == sig2 && n1 == n2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	if Uniform.String() != "uniform" || Distribution(99).String() == "" {
+		t.Error("Distribution.String broken")
+	}
+}
+
+func TestKeysBijective(t *testing.T) {
+	w := MustGenerate(smallSpec())
+	keys := w.Keys()
+	seen := map[uint64]bool{}
+	for j := 0; j < w.Spec.D; j++ {
+		for x := 0; x < w.SizeS(j); x++ {
+			k := keys.KeyOf(SPtr{Part: int32(j), Index: int32(x)})
+			if k >= uint64(w.Spec.NS) {
+				t.Fatalf("key %d out of range", k)
+			}
+			if seen[k] {
+				t.Fatalf("duplicate key %d", k)
+			}
+			seen[k] = true
+		}
+	}
+	if len(seen) != w.Spec.NS {
+		t.Fatalf("%d distinct keys", len(seen))
+	}
+}
+
+func TestKeysDeterministicAndUnclustered(t *testing.T) {
+	w := MustGenerate(smallSpec())
+	a, b := w.Keys(), w.Keys()
+	inOrder := 0
+	var prev uint64
+	for x := 0; x < w.SizeS(0); x++ {
+		ptr := SPtr{Part: 0, Index: int32(x)}
+		if a.KeyOf(ptr) != b.KeyOf(ptr) {
+			t.Fatal("keys not deterministic")
+		}
+		if x > 0 && a.KeyOf(ptr) > prev {
+			inOrder++
+		}
+		prev = a.KeyOf(ptr)
+	}
+	// A random permutation is ascending about half the time — far from
+	// the fully clustered case.
+	n := w.SizeS(0) - 1
+	if inOrder < n/3 || inOrder > 2*n/3 {
+		t.Errorf("key order suspiciously clustered: %d/%d ascending", inOrder, n)
+	}
+}
+
+func TestNodeOfCoversAllPartitions(t *testing.T) {
+	w := MustGenerate(smallSpec())
+	keys := w.Keys()
+	counts := make([]int, w.Spec.D)
+	for k := uint64(0); k < uint64(w.Spec.NS); k++ {
+		n := keys.NodeOf(k)
+		if n < 0 || n >= w.Spec.D {
+			t.Fatalf("NodeOf(%d) = %d", k, n)
+		}
+		counts[n]++
+	}
+	for j, c := range counts {
+		if c != w.Spec.NS/w.Spec.D {
+			t.Errorf("node %d gets %d keys", j, c)
+		}
+	}
+}
+
+func TestDistinctRefCounts(t *testing.T) {
+	w := MustGenerate(smallSpec())
+	counts := w.DistinctRefCounts()
+	rs := w.RSCounts()
+	for j, n := range counts {
+		if n < 1 || n > rs[j] || n > w.SizeS(j) {
+			t.Errorf("DistinctRefCounts[%d] = %d (|RSj|=%d, |Sj|=%d)", j, n, rs[j], w.SizeS(j))
+		}
+		// Uniform with |R|=|S|: expect ~(1-1/e) of the partition hit.
+		frac := float64(n) / float64(w.SizeS(j))
+		if frac < 0.55 || frac > 0.72 {
+			t.Errorf("distinct fraction %.2f at partition %d", frac, j)
+		}
+	}
+	// Zipf collapses the distinct set.
+	zs := smallSpec()
+	zs.Dist = Zipf
+	zs.ZipfTheta = 1.5
+	zw := MustGenerate(zs)
+	zc := zw.DistinctRefCounts()
+	if zc[0] >= counts[0] {
+		t.Errorf("zipf distinct %d not below uniform %d", zc[0], counts[0])
+	}
+}

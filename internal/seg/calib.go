@@ -1,0 +1,53 @@
+package seg
+
+import (
+	"mmjoin/internal/disk"
+	"mmjoin/internal/sim"
+)
+
+// SetupPoint is one measured point of the mapping-setup functions of the
+// paper's Fig. 1(b).
+type SetupPoint struct {
+	Pages  int
+	New    sim.Time
+	Open   sim.Time
+	Delete sim.Time
+}
+
+// StandardSetupSizes are the mapping sizes (in blocks) sampled for
+// Fig. 1(b) reproductions. The paper plots 1600–12800; smaller sizes are
+// included so the interpolated curves stay accurate for small mappings.
+var StandardSetupSizes = []int{1, 16, 100, 400, 800, 1600, 3200, 4800, 6400, 8000, 9600, 11200, 12800}
+
+// MeasureSetup measures newMap/openMap/deleteMap elapsed times for each
+// mapping size on an idle simulated machine, exactly as a microbenchmark
+// would on real hardware.
+func MeasureSetup(dcfg disk.Config, cost SetupCost, sizes []int) []SetupPoint {
+	points := make([]SetupPoint, 0, len(sizes))
+	for _, pages := range sizes {
+		k := sim.NewKernel()
+		d := disk.MustNew(k, "calib", dcfg)
+		sys := NewSystem(cost)
+		m := NewManager(sys, d)
+		bytes := int64(pages) * int64(dcfg.BlockBytes)
+		var pt SetupPoint
+		pt.Pages = pages
+		k.Spawn("measure", func(p *sim.Proc) {
+			start := p.Now()
+			s := m.NewMap(p, "probe", bytes)
+			pt.New = p.Now() - start
+
+			start = p.Now()
+			m.OpenMap(p, s)
+			pt.Open = p.Now() - start
+
+			start = p.Now()
+			m.DeleteMap(p, s)
+			pt.Delete = p.Now() - start
+			d.Close()
+		})
+		k.Run()
+		points = append(points, pt)
+	}
+	return points
+}

@@ -1,0 +1,277 @@
+package seg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mmjoin/internal/disk"
+	"mmjoin/internal/sim"
+)
+
+func testRig() (*sim.Kernel, *disk.Disk, *Manager) {
+	k := sim.NewKernel()
+	cfg := disk.DefaultConfig()
+	cfg.Blocks = 20000
+	d := disk.MustNew(k, "d0", cfg)
+	return k, d, NewManager(NewSystem(DefaultSetupCost()), d)
+}
+
+func runOn(k *sim.Kernel, d *disk.Disk, fn func(p *sim.Proc)) sim.Time {
+	k.Spawn("t", func(p *sim.Proc) {
+		fn(p)
+		d.Close()
+	})
+	return k.Run()
+}
+
+func TestContiguousCreationOrder(t *testing.T) {
+	k, d, m := testRig()
+	runOn(k, d, func(p *sim.Proc) {
+		r := m.Preexisting("Ri", 10*4096)
+		s := m.Preexisting("Si", 10*4096)
+		rp := m.NewMap(p, "RPi", 5*4096)
+		if r.Block(0) != 0 || s.Block(0) != 10 || rp.Block(0) != 20 {
+			t.Errorf("layout not contiguous: %d %d %d", r.Block(0), s.Block(0), rp.Block(0))
+		}
+	})
+}
+
+func TestPagesRounding(t *testing.T) {
+	k, d, m := testRig()
+	runOn(k, d, func(p *sim.Proc) {
+		if got := m.Preexisting("a", 4096).Pages(); got != 1 {
+			t.Errorf("4096 bytes -> %d pages", got)
+		}
+		if got := m.Preexisting("b", 4097).Pages(); got != 2 {
+			t.Errorf("4097 bytes -> %d pages", got)
+		}
+		if got := m.Preexisting("c", 1).Pages(); got != 1 {
+			t.Errorf("1 byte -> %d pages", got)
+		}
+		if got := m.Preexisting("d", 0).Pages(); got != 1 {
+			t.Errorf("0 bytes -> %d pages", got)
+		}
+	})
+}
+
+func TestSetupCostsCharged(t *testing.T) {
+	k, d, m := testRig()
+	cost := m.sys.cost
+	end := runOn(k, d, func(p *sim.Proc) {
+		s := m.NewMap(p, "x", 100*4096)
+		newDone := p.Now()
+		want := cost.NewBase + 100*cost.NewPerPage
+		if newDone != want {
+			t.Errorf("newMap took %v, want %v", newDone, want)
+		}
+		m.OpenMap(p, s)
+		m.DeleteMap(p, s)
+	})
+	want := cost.NewBase + 100*cost.NewPerPage +
+		cost.OpenBase + 100*cost.OpenPerPage +
+		cost.DeleteBase + 100*cost.DeletePerPage
+	if end != want {
+		t.Errorf("total %v, want %v", end, want)
+	}
+}
+
+func TestMappingSerializedAcrossProcs(t *testing.T) {
+	// Two processes creating mappings at once serialize on the system
+	// lock: total time is the sum, which is why the paper's setup cost
+	// carries a factor of D.
+	k := sim.NewKernel()
+	cfg := disk.DefaultConfig()
+	cfg.Blocks = 20000
+	d := disk.MustNew(k, "d0", cfg)
+	sys := NewSystem(DefaultSetupCost())
+	m := NewManager(sys, d)
+	one := sys.cost.NewBase + 50*sys.cost.NewPerPage
+	done := 0
+	for i := 0; i < 2; i++ {
+		k.Spawn("mapper", func(p *sim.Proc) {
+			m.NewMap(p, "seg", 50*4096)
+			done++
+			if done == 2 {
+				d.Close()
+			}
+		})
+	}
+	if end := k.Run(); end != 2*one {
+		t.Errorf("parallel setup took %v, want serialized %v", end, 2*one)
+	}
+}
+
+func TestZeroFillVsOnDisk(t *testing.T) {
+	k, d, m := testRig()
+	runOn(k, d, func(p *sim.Proc) {
+		pre := m.Preexisting("pre", 3*4096)
+		neu := m.NewMap(p, "new", 3*4096)
+		if !pre.OnDisk(0) || !pre.OnDisk(2) {
+			t.Error("preexisting pages should be on disk")
+		}
+		if neu.OnDisk(0) {
+			t.Error("new mapping pages should be zero-fill")
+		}
+		neu.MarkOnDisk(1)
+		if !neu.OnDisk(1) || neu.OnDisk(0) {
+			t.Error("MarkOnDisk wrong page state")
+		}
+	})
+}
+
+func TestDeleteReusesExtent(t *testing.T) {
+	k, d, m := testRig()
+	runOn(k, d, func(p *sim.Proc) {
+		a := m.NewMap(p, "a", 100*4096)
+		b := m.NewMap(p, "b", 50*4096)
+		aBase := a.Block(0)
+		m.DeleteMap(p, a)
+		c := m.NewMap(p, "c", 80*4096) // fits in a's hole
+		if c.Block(0) != aBase {
+			t.Errorf("extent not reused: c at %d, hole at %d", c.Block(0), aBase)
+		}
+		_ = b
+	})
+}
+
+func TestDeleteCoalesces(t *testing.T) {
+	k, d, m := testRig()
+	runOn(k, d, func(p *sim.Proc) {
+		a := m.NewMap(p, "a", 10*4096)
+		b := m.NewMap(p, "b", 10*4096)
+		c := m.NewMap(p, "c", 10*4096)
+		keep := m.NewMap(p, "keep", 10*4096)
+		m.DeleteMap(p, a)
+		m.DeleteMap(p, c)
+		m.DeleteMap(p, b) // now a+b+c coalesce into one 30-block hole
+		big := m.NewMap(p, "big", 30*4096)
+		if big.Block(0) != 0 {
+			t.Errorf("coalesced hole not used: big at %d", big.Block(0))
+		}
+		_ = keep
+	})
+}
+
+func TestTrailingFreeReturnsToBump(t *testing.T) {
+	k, d, m := testRig()
+	runOn(k, d, func(p *sim.Proc) {
+		free0 := m.FreeBlocks()
+		a := m.NewMap(p, "a", 10*4096)
+		m.DeleteMap(p, a)
+		if m.FreeBlocks() != free0 {
+			t.Errorf("free blocks %d, want %d", m.FreeBlocks(), free0)
+		}
+		if len(m.free) != 0 {
+			t.Errorf("trailing extent should return to bump pointer, free list %v", m.free)
+		}
+	})
+}
+
+func TestDoubleDeletePanics(t *testing.T) {
+	k, d, m := testRig()
+	runOn(k, d, func(p *sim.Proc) {
+		s := m.NewMap(p, "s", 4096)
+		m.DeleteMap(p, s)
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on double delete")
+			}
+		}()
+		m.DeleteMap(p, s)
+	})
+}
+
+func TestBlockOutOfRangePanics(t *testing.T) {
+	k, d, m := testRig()
+	runOn(k, d, func(p *sim.Proc) {
+		s := m.Preexisting("s", 2*4096)
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		s.Block(2)
+	})
+}
+
+func TestDiskFullPanics(t *testing.T) {
+	k, d, m := testRig()
+	runOn(k, d, func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected disk-full panic")
+			}
+		}()
+		m.Preexisting("huge", int64(d.Config().Blocks+1)*4096)
+	})
+}
+
+// Property: any sequence of alloc/free pairs leaves the manager with the
+// same number of free blocks it started with, and allocations never
+// overlap while live.
+func TestQuickAllocFreeConsistent(t *testing.T) {
+	f := func(sizes []uint8, frees []bool) bool {
+		k, d, m := testRig()
+		ok := true
+		runOn(k, d, func(p *sim.Proc) {
+			free0 := m.FreeBlocks()
+			type liveSeg struct{ s *Segment }
+			var live []liveSeg
+			used := map[int]bool{}
+			for i, raw := range sizes {
+				if i >= 24 {
+					break
+				}
+				n := int(raw)%64 + 1
+				s := m.NewMap(p, "q", int64(n)*4096)
+				for b := 0; b < s.Pages(); b++ {
+					if used[s.Block(b)] {
+						ok = false
+					}
+					used[s.Block(b)] = true
+				}
+				live = append(live, liveSeg{s})
+				if i < len(frees) && frees[i] && len(live) > 0 {
+					victim := live[0]
+					live = live[1:]
+					for b := 0; b < victim.s.Pages(); b++ {
+						delete(used, victim.s.Block(b))
+					}
+					m.DeleteMap(p, victim.s)
+				}
+			}
+			for _, l := range live {
+				m.DeleteMap(p, l.s)
+			}
+			if m.FreeBlocks() != free0 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeasureSetupLinearAndOrdered(t *testing.T) {
+	cfg := disk.DefaultConfig()
+	pts := MeasureSetup(cfg, DefaultSetupCost(), []int{1600, 6400, 12800})
+	for i := 1; i < len(pts); i++ {
+		if pts[i].New <= pts[i-1].New || pts[i].Open <= pts[i-1].Open || pts[i].Delete <= pts[i-1].Delete {
+			t.Errorf("setup costs not increasing with size: %+v", pts)
+		}
+	}
+	for _, pt := range pts {
+		// Fig 1(b) ordering: newMap > openMap > deleteMap.
+		if !(pt.New > pt.Open && pt.Open > pt.Delete) {
+			t.Errorf("ordering violated at %d pages: new %v open %v delete %v",
+				pt.Pages, pt.New, pt.Open, pt.Delete)
+		}
+	}
+	// Magnitude: seconds at 12800 blocks, like the paper.
+	last := pts[len(pts)-1]
+	if last.New < 5*sim.Second || last.New > 20*sim.Second {
+		t.Errorf("newMap(12800) = %v, expected ~11s scale", last.New)
+	}
+}

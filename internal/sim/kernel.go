@@ -1,0 +1,237 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel plays the role of the machine on which the paper's experiments
+// ran: it advances a virtual clock, schedules cooperating processes, and
+// arbitrates contended resources (disk arms, controllers). Processes are
+// ordinary Go functions run on goroutines, but exactly one process executes
+// at a time and time only advances through explicit kernel calls, so runs
+// are fully deterministic for a fixed input.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Time is a virtual-time instant or duration in nanoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable instant.
+const MaxTime Time = math.MaxInt64
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds reports t as floating-point milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// FromSeconds converts floating-point seconds to a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Milliseconds())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	}
+	return fmt.Sprintf("%dns", int64(t))
+}
+
+// event is a scheduled wake-up for a process.
+type event struct {
+	at   Time
+	seq  int64 // FIFO tie-break for equal times
+	proc *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event        { return h[0] }
+func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// Kernel is a discrete-event simulator. The zero value is not usable;
+// create one with NewKernel.
+type Kernel struct {
+	now      Time
+	events   eventHeap
+	seq      int64
+	yieldCh  chan struct{}
+	procs    []*Proc
+	live     int
+	running  bool
+	panicVal any
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{yieldCh: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Procs returns all processes ever spawned, in spawn order.
+func (k *Kernel) Procs() []*Proc { return k.procs }
+
+// Spawn creates a process named name running fn and schedules it to start
+// at the current virtual time. Spawn may be called before Run or from
+// within a running process.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, wake: make(chan struct{})}
+	k.procs = append(k.procs, p)
+	k.live++
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				k.panicVal = r
+			}
+			p.state = procDone
+			k.live--
+			k.yieldCh <- struct{}{}
+		}()
+		<-p.wake // wait for first dispatch
+		fn(p)
+	}()
+	k.schedule(p, k.now)
+	return p
+}
+
+// schedule enqueues a wake-up for p at time at.
+func (k *Kernel) schedule(p *Proc, at Time) {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling %q in the past (%v < %v)", p.name, at, k.now))
+	}
+	k.seq++
+	k.events.pushEvent(event{at: at, seq: k.seq, proc: p})
+	p.state = procReady
+}
+
+// Run executes until no runnable process remains and returns the final
+// virtual time. It panics with a description of blocked processes if some
+// process is blocked forever (a deadlock in the simulated program).
+func (k *Kernel) Run() Time {
+	if k.running {
+		panic("sim: Kernel.Run called reentrantly")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	for k.events.Len() > 0 {
+		e := k.events.popEvent()
+		if e.proc.state == procDone {
+			continue
+		}
+		k.now = e.at
+		e.proc.state = procRunning
+		e.proc.wake <- struct{}{}
+		<-k.yieldCh
+		if k.panicVal != nil {
+			v := k.panicVal
+			k.panicVal = nil
+			panic(v)
+		}
+	}
+	if k.live > 0 {
+		var blocked []string
+		for _, p := range k.procs {
+			if p.state == procBlocked {
+				blocked = append(blocked, fmt.Sprintf("%s (%s)", p.name, p.blockReason))
+			}
+		}
+		sort.Strings(blocked)
+		panic(fmt.Sprintf("sim: deadlock at %v: %d processes blocked forever: %v", k.now, k.live, blocked))
+	}
+	return k.now
+}
+
+type procState int8
+
+const (
+	procReady procState = iota
+	procRunning
+	procBlocked
+	procDone
+)
+
+// Proc is a simulated process. All methods must be called from the
+// process's own goroutine (inside the function passed to Spawn).
+type Proc struct {
+	k           *Kernel
+	name        string
+	wake        chan struct{}
+	state       procState
+	blockReason string
+
+	// Busy is total virtual time this process spent in Advance.
+	Busy Time
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// yield hands control back to the kernel and waits to be dispatched again.
+func (p *Proc) yield() {
+	p.k.yieldCh <- struct{}{}
+	<-p.wake
+	p.state = procRunning
+}
+
+// Advance consumes d of virtual time (CPU work, transfer time, ...).
+// Other runnable processes may execute in the interim.
+func (p *Proc) Advance(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: %s: negative Advance %v", p.name, d))
+	}
+	p.Busy += d
+	if d == 0 {
+		return
+	}
+	p.k.schedule(p, p.k.now+d)
+	p.yield()
+}
+
+// Block suspends the process until another process calls Unblock on it.
+// reason is reported if the simulation deadlocks.
+func (p *Proc) Block(reason string) {
+	p.state = procBlocked
+	p.blockReason = reason
+	p.yield()
+}
+
+// Unblock makes a blocked process runnable at the current virtual time.
+// It may be called from any process (or before Run from the spawner).
+func (p *Proc) Unblock() {
+	if p.state != procBlocked {
+		panic(fmt.Sprintf("sim: Unblock of non-blocked process %q", p.name))
+	}
+	p.k.schedule(p, p.k.now)
+}

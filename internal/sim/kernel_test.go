@@ -1,0 +1,591 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{2 * Microsecond, "2.000µs"},
+		{3 * Millisecond, "3.000ms"},
+		{Second + 500*Millisecond, "1.500s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := FromSeconds(1.5); got != Second+500*Millisecond {
+		t.Errorf("FromSeconds(1.5) = %v", got)
+	}
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Errorf("Seconds() = %v", got)
+	}
+	if got := (Millisecond / 2).Milliseconds(); got != 0.5 {
+		t.Errorf("Milliseconds() = %v", got)
+	}
+}
+
+func TestSingleProcAdvance(t *testing.T) {
+	k := NewKernel()
+	var at Time
+	k.Spawn("a", func(p *Proc) {
+		p.Advance(10 * Millisecond)
+		at = p.Now()
+	})
+	end := k.Run()
+	if at != 10*Millisecond {
+		t.Errorf("proc observed %v, want 10ms", at)
+	}
+	if end != 10*Millisecond {
+		t.Errorf("Run returned %v, want 10ms", end)
+	}
+}
+
+func TestInterleavingDeterministic(t *testing.T) {
+	run := func() []string {
+		k := NewKernel()
+		var order []string
+		k.Spawn("a", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Advance(2 * Millisecond)
+				order = append(order, "a")
+			}
+		})
+		k.Spawn("b", func(p *Proc) {
+			for i := 0; i < 2; i++ {
+				p.Advance(3 * Millisecond)
+				order = append(order, "b")
+			}
+		})
+		k.Run()
+		return order
+	}
+	first := run()
+	// a finishes work at t=2,4,6; b at t=3,6. At t=6 b's wake-up was
+	// scheduled first (at t=3 vs t=4), so FIFO tie-break runs b first.
+	want := []string{"a", "b", "a", "b", "a"}
+	if len(first) != len(want) {
+		t.Fatalf("got %v, want %v", first, want)
+	}
+	for i := range want {
+		if first[i] != want[i] {
+			t.Fatalf("got %v, want %v", first, want)
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		again := run()
+		for i := range first {
+			if again[i] != first[i] {
+				t.Fatalf("non-deterministic interleaving: %v vs %v", again, first)
+			}
+		}
+	}
+}
+
+func TestEqualTimeFIFO(t *testing.T) {
+	// Processes scheduled for the same instant run in schedule order.
+	k := NewKernel()
+	var order []string
+	for _, name := range []string{"p0", "p1", "p2"} {
+		name := name
+		k.Spawn(name, func(p *Proc) {
+			p.Advance(Millisecond)
+			order = append(order, name)
+		})
+	}
+	k.Run()
+	for i, want := range []string{"p0", "p1", "p2"} {
+		if order[i] != want {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestZeroAdvanceKeepsRunning(t *testing.T) {
+	k := NewKernel()
+	steps := 0
+	k.Spawn("a", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Advance(0)
+			steps++
+		}
+	})
+	if end := k.Run(); end != 0 {
+		t.Errorf("time advanced to %v on zero advances", end)
+	}
+	if steps != 5 {
+		t.Errorf("steps = %d", steps)
+	}
+}
+
+func TestBusyAccounting(t *testing.T) {
+	k := NewKernel()
+	p0 := k.Spawn("a", func(p *Proc) {
+		p.Advance(Millisecond)
+		p.Advance(2 * Millisecond)
+	})
+	k.Run()
+	if p0.Busy != 3*Millisecond {
+		t.Errorf("Busy = %v, want 3ms", p0.Busy)
+	}
+}
+
+func TestNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	k := NewKernel()
+	k.Spawn("a", func(p *Proc) { p.Advance(-1) })
+	k.Run()
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected deadlock panic")
+		}
+	}()
+	k := NewKernel()
+	k.Spawn("stuck", func(p *Proc) { p.Block("forever") })
+	k.Run()
+}
+
+func TestBlockUnblock(t *testing.T) {
+	k := NewKernel()
+	var woken Time
+	var target *Proc
+	target = k.Spawn("sleeper", func(p *Proc) {
+		p.Block("waiting for waker")
+		woken = p.Now()
+	})
+	k.Spawn("waker", func(p *Proc) {
+		p.Advance(7 * Millisecond)
+		target.Unblock()
+	})
+	k.Run()
+	if woken != 7*Millisecond {
+		t.Errorf("woken at %v, want 7ms", woken)
+	}
+}
+
+func TestSpawnFromProc(t *testing.T) {
+	k := NewKernel()
+	var childTime Time
+	k.Spawn("parent", func(p *Proc) {
+		p.Advance(Millisecond)
+		p.Kernel().Spawn("child", func(c *Proc) {
+			c.Advance(Millisecond)
+			childTime = c.Now()
+		})
+		p.Advance(5 * Millisecond)
+	})
+	k.Run()
+	if childTime != 2*Millisecond {
+		t.Errorf("child finished at %v, want 2ms", childTime)
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	k := NewKernel()
+	r := NewResource("disk")
+	var finish []Time
+	for i := 0; i < 3; i++ {
+		k.Spawn("user", func(p *Proc) {
+			r.Use(p, 10*Millisecond)
+			finish = append(finish, p.Now())
+		})
+	}
+	end := k.Run()
+	if end != 30*Millisecond {
+		t.Fatalf("end = %v, want 30ms", end)
+	}
+	want := []Time{10 * Millisecond, 20 * Millisecond, 30 * Millisecond}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Errorf("finish[%d] = %v, want %v", i, finish[i], want[i])
+		}
+	}
+	if r.BusyTime != 30*Millisecond {
+		t.Errorf("BusyTime = %v", r.BusyTime)
+	}
+	if r.Acquisitions != 3 {
+		t.Errorf("Acquisitions = %d", r.Acquisitions)
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	k := NewKernel()
+	r := NewResource("disk")
+	var order []string
+	spawn := func(name string, delay Time) {
+		k.Spawn(name, func(p *Proc) {
+			p.Advance(delay)
+			r.Acquire(p)
+			p.Advance(10 * Millisecond)
+			order = append(order, name)
+			r.Release(p)
+		})
+	}
+	spawn("first", 0)
+	spawn("second", Millisecond)
+	spawn("third", 2*Millisecond)
+	k.Run()
+	for i, want := range []string{"first", "second", "third"} {
+		if order[i] != want {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestResourceMisusePanics(t *testing.T) {
+	k := NewKernel()
+	r := NewResource("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on releasing unheld resource")
+		}
+	}()
+	k.Spawn("bad", func(p *Proc) { r.Release(p) })
+	k.Run()
+}
+
+func TestCondBroadcast(t *testing.T) {
+	k := NewKernel()
+	c := NewCond("ready")
+	woken := 0
+	for i := 0; i < 3; i++ {
+		k.Spawn("waiter", func(p *Proc) {
+			c.Wait(p)
+			woken++
+		})
+	}
+	k.Spawn("signaler", func(p *Proc) {
+		p.Advance(Millisecond)
+		if c.Waiting() != 3 {
+			t.Errorf("Waiting = %d, want 3", c.Waiting())
+		}
+		c.Broadcast()
+	})
+	k.Run()
+	if woken != 3 {
+		t.Errorf("woken = %d, want 3", woken)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	k := NewKernel()
+	b := NewBarrier("phase", 3)
+	var pass []Time
+	delays := []Time{Millisecond, 5 * Millisecond, 9 * Millisecond}
+	for _, d := range delays {
+		d := d
+		k.Spawn("party", func(p *Proc) {
+			p.Advance(d)
+			b.Wait(p)
+			pass = append(pass, p.Now())
+		})
+	}
+	k.Run()
+	if len(pass) != 3 {
+		t.Fatalf("pass = %v", pass)
+	}
+	for _, at := range pass {
+		if at != 9*Millisecond {
+			t.Errorf("party passed at %v, want 9ms", at)
+		}
+	}
+	if b.Rounds != 1 {
+		t.Errorf("Rounds = %d", b.Rounds)
+	}
+}
+
+func TestBarrierMultipleRounds(t *testing.T) {
+	k := NewKernel()
+	b := NewBarrier("phase", 2)
+	rounds := 3
+	for i := 0; i < 2; i++ {
+		i := i
+		k.Spawn("party", func(p *Proc) {
+			for r := 0; r < rounds; r++ {
+				p.Advance(Time(i+1) * Millisecond)
+				b.Wait(p)
+			}
+		})
+	}
+	k.Run()
+	if b.Rounds != int64(rounds) {
+		t.Errorf("Rounds = %d, want %d", b.Rounds, rounds)
+	}
+}
+
+func TestBarrierSingleParty(t *testing.T) {
+	k := NewKernel()
+	b := NewBarrier("solo", 1)
+	k.Spawn("p", func(p *Proc) {
+		b.Wait(p)
+		b.Wait(p)
+	})
+	k.Run()
+	if b.Rounds != 2 {
+		t.Errorf("Rounds = %d, want 2", b.Rounds)
+	}
+}
+
+func TestChanBuffered(t *testing.T) {
+	k := NewKernel()
+	c := NewChan("q", 2)
+	var got []int
+	k.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			c.Send(p, i)
+			p.Advance(Millisecond)
+		}
+	})
+	k.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			got = append(got, c.Recv(p).(int))
+			p.Advance(2 * Millisecond)
+		}
+	})
+	k.Run()
+	for i := 0; i < 5; i++ {
+		if got[i] != i {
+			t.Fatalf("got = %v", got)
+		}
+	}
+}
+
+func TestChanRendezvous(t *testing.T) {
+	k := NewKernel()
+	c := NewChan("r", 0)
+	var recvAt, sendDone Time
+	k.Spawn("sender", func(p *Proc) {
+		c.Send(p, "hello")
+		sendDone = p.Now()
+	})
+	k.Spawn("receiver", func(p *Proc) {
+		p.Advance(4 * Millisecond)
+		if v := c.Recv(p).(string); v != "hello" {
+			t.Errorf("got %q", v)
+		}
+		recvAt = p.Now()
+	})
+	k.Run()
+	if recvAt != 4*Millisecond {
+		t.Errorf("recvAt = %v", recvAt)
+	}
+	_ = sendDone // sender unblocked at receive time
+}
+
+func TestChanBlockedReceiverHandoff(t *testing.T) {
+	k := NewKernel()
+	c := NewChan("q", 1)
+	var got any
+	k.Spawn("receiver", func(p *Proc) { got = c.Recv(p) })
+	k.Spawn("sender", func(p *Proc) {
+		p.Advance(Millisecond)
+		c.Send(p, 42)
+	})
+	k.Run()
+	if got != 42 {
+		t.Errorf("got = %v", got)
+	}
+}
+
+func TestChanFullBlocksSender(t *testing.T) {
+	k := NewKernel()
+	c := NewChan("q", 1)
+	var sentSecondAt Time
+	k.Spawn("sender", func(p *Proc) {
+		c.Send(p, 1)
+		c.Send(p, 2) // blocks until consumer drains
+		sentSecondAt = p.Now()
+	})
+	k.Spawn("consumer", func(p *Proc) {
+		p.Advance(10 * Millisecond)
+		c.Recv(p)
+		c.Recv(p)
+	})
+	k.Run()
+	if sentSecondAt != 10*Millisecond {
+		t.Errorf("second send completed at %v, want 10ms", sentSecondAt)
+	}
+}
+
+// Property: for any set of independent processes doing fixed advances, the
+// final kernel time equals the maximum total advance, and each proc's Busy
+// equals its own total.
+func TestQuickIndependentProcs(t *testing.T) {
+	f := func(durs []uint16) bool {
+		if len(durs) == 0 {
+			return true
+		}
+		if len(durs) > 32 {
+			durs = durs[:32]
+		}
+		k := NewKernel()
+		var max Time
+		procs := make([]*Proc, len(durs))
+		for i, d := range durs {
+			d := Time(d) * Microsecond
+			if d > max {
+				max = d
+			}
+			procs[i] = k.Spawn("p", func(p *Proc) { p.Advance(d) })
+		}
+		end := k.Run()
+		if end != max {
+			return false
+		}
+		for i, d := range durs {
+			if procs[i].Busy != Time(d)*Microsecond {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a shared unit resource serializes all work: end time equals the
+// sum of service times regardless of arrival pattern (all arrive at 0).
+func TestQuickResourceSerialization(t *testing.T) {
+	f := func(durs []uint16) bool {
+		if len(durs) == 0 || len(durs) > 24 {
+			return true
+		}
+		k := NewKernel()
+		r := NewResource("res")
+		var sum Time
+		for _, d := range durs {
+			d := Time(d) * Microsecond
+			sum += d
+			k.Spawn("u", func(p *Proc) { r.Use(p, d) })
+		}
+		return k.Run() == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChanMultipleBlockedReadersFIFO(t *testing.T) {
+	k := NewKernel()
+	c := NewChan("q", 4)
+	var got []int
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Spawn("reader", func(p *Proc) {
+			p.Advance(Time(i+1) * Millisecond) // readers arrive in order
+			got = append(got, c.Recv(p).(int))
+		})
+	}
+	k.Spawn("writer", func(p *Proc) {
+		p.Advance(10 * Millisecond)
+		for v := 0; v < 3; v++ {
+			c.Send(p, v)
+		}
+	})
+	k.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("reader order %v, want FIFO", got)
+		}
+	}
+}
+
+func TestResourceQueueLenAndHeld(t *testing.T) {
+	k := NewKernel()
+	r := NewResource("x")
+	k.Spawn("holder", func(p *Proc) {
+		r.Acquire(p)
+		p.Advance(10 * Millisecond)
+		if r.QueueLen() != 2 {
+			t.Errorf("QueueLen = %d, want 2", r.QueueLen())
+		}
+		if !r.Held() {
+			t.Error("Held should be true")
+		}
+		r.Release(p)
+	})
+	for i := 0; i < 2; i++ {
+		k.Spawn("waiter", func(p *Proc) {
+			p.Advance(Millisecond)
+			r.Use(p, Millisecond)
+		})
+	}
+	k.Run()
+	if r.Held() {
+		t.Error("resource still held after run")
+	}
+}
+
+func TestCondBroadcastWithNoWaiters(t *testing.T) {
+	k := NewKernel()
+	c := NewCond("empty")
+	k.Spawn("p", func(p *Proc) {
+		c.Broadcast() // no-op
+		p.Advance(Millisecond)
+	})
+	if end := k.Run(); end != Millisecond {
+		t.Errorf("end = %v", end)
+	}
+}
+
+func TestDoubleAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on re-acquire")
+		}
+	}()
+	k := NewKernel()
+	r := NewResource("x")
+	k.Spawn("p", func(p *Proc) {
+		r.Acquire(p)
+		r.Acquire(p)
+	})
+	k.Run()
+}
+
+// Property: a process's Busy time never exceeds the kernel end time, and
+// the end time is reached by some process.
+func TestQuickBusyBounded(t *testing.T) {
+	f := func(durs []uint16) bool {
+		if len(durs) == 0 || len(durs) > 16 {
+			return true
+		}
+		k := NewKernel()
+		procs := make([]*Proc, len(durs))
+		for i, d := range durs {
+			d := Time(d) * Microsecond
+			procs[i] = k.Spawn("p", func(p *Proc) {
+				for step := 0; step < 3; step++ {
+					p.Advance(d / 3)
+				}
+			})
+		}
+		end := k.Run()
+		for _, p := range procs {
+			if p.Busy > end {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

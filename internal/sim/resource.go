@@ -1,0 +1,215 @@
+package sim
+
+import "fmt"
+
+// Resource is a unit-capacity resource (a disk arm, a controller) with a
+// FIFO wait queue. Acquire/Release bracket exclusive use; Use combines
+// them around a fixed service time.
+type Resource struct {
+	name    string
+	holder  *Proc
+	waiters []*Proc
+
+	// BusyTime accumulates total virtual time the resource was held.
+	BusyTime Time
+	// Acquisitions counts successful Acquire calls.
+	Acquisitions int64
+
+	acquiredAt Time
+}
+
+// NewResource returns an idle resource with the given diagnostic name.
+func NewResource(name string) *Resource { return &Resource{name: name} }
+
+// Name returns the resource's diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Held reports whether some process currently holds the resource.
+func (r *Resource) Held() bool { return r.holder != nil }
+
+// QueueLen reports the number of processes waiting to acquire.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Acquire takes exclusive ownership, blocking in FIFO order if the
+// resource is held.
+func (r *Resource) Acquire(p *Proc) {
+	if r.holder == p {
+		panic(fmt.Sprintf("sim: %s re-acquires %s", p.name, r.name))
+	}
+	if r.holder != nil {
+		r.waiters = append(r.waiters, p)
+		p.Block("acquire " + r.name)
+		// Ownership was transferred to us by Release before unblocking.
+		if r.holder != p {
+			panic(fmt.Sprintf("sim: %s woke without ownership of %s", p.name, r.name))
+		}
+		return
+	}
+	r.holder = p
+	r.Acquisitions++
+	r.acquiredAt = p.k.now
+}
+
+// Release gives up ownership, handing the resource to the first waiter.
+func (r *Resource) Release(p *Proc) {
+	if r.holder != p {
+		panic(fmt.Sprintf("sim: %s releases %s it does not hold", p.name, r.name))
+	}
+	r.BusyTime += p.k.now - r.acquiredAt
+	if len(r.waiters) == 0 {
+		r.holder = nil
+		return
+	}
+	next := r.waiters[0]
+	r.waiters = r.waiters[1:]
+	r.holder = next
+	r.Acquisitions++
+	r.acquiredAt = p.k.now
+	next.Unblock()
+}
+
+// Use acquires the resource, advances p by service, and releases it.
+func (r *Resource) Use(p *Proc, service Time) {
+	r.Acquire(p)
+	p.Advance(service)
+	r.Release(p)
+}
+
+// Cond is a broadcast condition: processes Wait on it, and any process can
+// Broadcast to wake all current waiters.
+type Cond struct {
+	name    string
+	waiters []*Proc
+}
+
+// NewCond returns a condition with the given diagnostic name.
+func NewCond(name string) *Cond { return &Cond{name: name} }
+
+// Wait blocks p until the next Broadcast.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.Block("wait " + c.name)
+}
+
+// Broadcast wakes all processes currently waiting. It must be called from
+// a running process context (or before Run).
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		w.Unblock()
+	}
+}
+
+// Waiting reports the number of processes blocked on the condition.
+func (c *Cond) Waiting() int { return len(c.waiters) }
+
+// Barrier synchronizes a fixed party of n processes: each caller of Wait
+// blocks until all n have arrived, then all proceed.
+type Barrier struct {
+	name    string
+	n       int
+	arrived []*Proc
+	// Rounds counts completed barrier episodes.
+	Rounds int64
+}
+
+// NewBarrier returns a barrier for n parties.
+func NewBarrier(name string, n int) *Barrier {
+	if n < 1 {
+		panic("sim: barrier party must be >= 1")
+	}
+	return &Barrier{name: name, n: n}
+}
+
+// Wait blocks until n processes (including p) have called Wait this round.
+func (b *Barrier) Wait(p *Proc) {
+	if b.n == 1 {
+		b.Rounds++
+		return
+	}
+	if len(b.arrived) == b.n-1 {
+		ws := b.arrived
+		b.arrived = nil
+		b.Rounds++
+		for _, w := range ws {
+			w.Unblock()
+		}
+		return
+	}
+	b.arrived = append(b.arrived, p)
+	p.Block("barrier " + b.name)
+}
+
+// Chan is a bounded FIFO message queue between simulated processes.
+// Send blocks when full; Recv blocks when empty. Capacity 0 is rendezvous:
+// a Send completes only when a receiver takes the value.
+type Chan struct {
+	name     string
+	capacity int
+	buf      []any
+	senders  []chanWaiter // blocked senders with their values (capacity ≥ 1) or rendezvous senders
+	readers  []chanWaiter // blocked receivers
+}
+
+type chanWaiter struct {
+	p *Proc
+	v any // value being sent (senders only)
+	// slot receives the value for blocked readers.
+	slot *any
+}
+
+// NewChan returns a channel with the given capacity (≥ 0).
+func NewChan(name string, capacity int) *Chan {
+	if capacity < 0 {
+		panic("sim: negative channel capacity")
+	}
+	return &Chan{name: name, capacity: capacity}
+}
+
+// Len reports the number of buffered messages.
+func (c *Chan) Len() int { return len(c.buf) }
+
+// Send enqueues v, blocking while the channel is full.
+func (c *Chan) Send(p *Proc, v any) {
+	// Direct handoff to a blocked reader.
+	if len(c.readers) > 0 {
+		r := c.readers[0]
+		c.readers = c.readers[1:]
+		*r.slot = v
+		r.p.Unblock()
+		return
+	}
+	if len(c.buf) < c.capacity {
+		c.buf = append(c.buf, v)
+		return
+	}
+	c.senders = append(c.senders, chanWaiter{p: p, v: v})
+	p.Block("send " + c.name)
+}
+
+// Recv dequeues a message, blocking while the channel is empty.
+func (c *Chan) Recv(p *Proc) any {
+	if len(c.buf) > 0 {
+		v := c.buf[0]
+		c.buf = c.buf[1:]
+		// Admit one blocked sender into the freed slot.
+		if len(c.senders) > 0 {
+			s := c.senders[0]
+			c.senders = c.senders[1:]
+			c.buf = append(c.buf, s.v)
+			s.p.Unblock()
+		}
+		return v
+	}
+	if len(c.senders) > 0 { // rendezvous (capacity 0)
+		s := c.senders[0]
+		c.senders = c.senders[1:]
+		s.p.Unblock()
+		return s.v
+	}
+	var slot any
+	c.readers = append(c.readers, chanWaiter{p: p, slot: &slot})
+	p.Block("recv " + c.name)
+	return slot
+}

@@ -1,0 +1,121 @@
+// Package trace records per-process event timelines from simulated join
+// executions and renders them as a text Gantt chart — the view the
+// paper's authors would have used to see staggered phases interleave and
+// disks hand work between processes.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"mmjoin/internal/sim"
+)
+
+// Event is one timeline mark.
+type Event struct {
+	At    sim.Time
+	Proc  string
+	Label string
+}
+
+// Log collects events. A nil *Log is a valid no-op sink, so callers can
+// trace unconditionally.
+type Log struct {
+	events []Event
+}
+
+// New returns an empty log.
+func New() *Log { return &Log{} }
+
+// Add records an event; nil logs ignore it.
+func (l *Log) Add(at sim.Time, proc, label string) {
+	if l == nil {
+		return
+	}
+	l.events = append(l.events, Event{At: at, Proc: proc, Label: label})
+}
+
+// Events returns the events sorted by time (stable across equal times).
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	out := append([]Event(nil), l.events...)
+	sort.SliceStable(out, func(a, b int) bool { return out[a].At < out[b].At })
+	return out
+}
+
+// Len reports the number of recorded events.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.events)
+}
+
+// Render writes a per-process timeline: one row per process, phases laid
+// out proportionally over width columns. Events with the same process
+// name share a row; each event label marks the END of the segment that
+// precedes it.
+func (l *Log) Render(w io.Writer, width int) error {
+	evs := l.Events()
+	if len(evs) == 0 {
+		_, err := fmt.Fprintln(w, "(no events)")
+		return err
+	}
+	if width < 20 {
+		width = 20
+	}
+	end := evs[len(evs)-1].At
+	if end == 0 {
+		end = 1
+	}
+	// Group by process, preserving first-seen order.
+	byProc := map[string][]Event{}
+	var order []string
+	for _, ev := range evs {
+		if _, seen := byProc[ev.Proc]; !seen {
+			order = append(order, ev.Proc)
+		}
+		byProc[ev.Proc] = append(byProc[ev.Proc], ev)
+	}
+	nameWidth := 0
+	for _, name := range order {
+		if len(name) > nameWidth {
+			nameWidth = len(name)
+		}
+	}
+	for _, name := range order {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		prev := 0
+		for idx, ev := range byProc[name] {
+			col := int(int64(ev.At) * int64(width-1) / int64(end))
+			mark := byte('a' + idx%26)
+			for c := prev; c <= col && c < width; c++ {
+				row[c] = mark
+			}
+			prev = col + 1
+		}
+		if _, err := fmt.Fprintf(w, "%-*s |%s|\n", nameWidth, name, string(row)); err != nil {
+			return err
+		}
+	}
+	// Legend: per process, segment letter -> label @ time.
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", nameWidth+width+3)); err != nil {
+		return err
+	}
+	for _, name := range order {
+		for idx, ev := range byProc[name] {
+			if _, err := fmt.Fprintf(w, "%-*s  %c: %-10s ends %v\n",
+				nameWidth, name, 'a'+idx%26, ev.Label, ev.At); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"mmjoin/internal/sim"
+)
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Add(0, "p", "x") // must not panic
+	if l.Len() != 0 || l.Events() != nil {
+		t.Error("nil log should be empty")
+	}
+}
+
+func TestEventsSortedByTime(t *testing.T) {
+	l := New()
+	l.Add(3*sim.Second, "b", "late")
+	l.Add(1*sim.Second, "a", "early")
+	l.Add(2*sim.Second, "a", "middle")
+	evs := l.Events()
+	if len(evs) != 3 || l.Len() != 3 {
+		t.Fatalf("%d events", len(evs))
+	}
+	if evs[0].Label != "early" || evs[1].Label != "middle" || evs[2].Label != "late" {
+		t.Errorf("order: %v", evs)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := New().Render(&sb, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no events") {
+		t.Errorf("output: %q", sb.String())
+	}
+}
+
+func TestRenderRowsAndLegend(t *testing.T) {
+	l := New()
+	l.Add(1*sim.Second, "Rproc0", "setup")
+	l.Add(4*sim.Second, "Rproc0", "pass0")
+	l.Add(2*sim.Second, "Rproc1", "setup")
+	l.Add(4*sim.Second, "Rproc1", "pass0")
+	var sb strings.Builder
+	if err := l.Render(&sb, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Rproc0 |", "Rproc1 |", "a: setup", "b: pass0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Segment 'a' of Rproc0 (ends at 1s of 4s) must be about a quarter
+	// of the row; count its marks.
+	line := strings.SplitN(out, "\n", 2)[0]
+	aCount := strings.Count(line, "a")
+	if aCount < 5 || aCount > 15 {
+		t.Errorf("segment a covers %d of 40 columns: %q", aCount, line)
+	}
+}
+
+func TestRenderClampssWidth(t *testing.T) {
+	l := New()
+	l.Add(sim.Second, "p", "x")
+	var sb strings.Builder
+	if err := l.Render(&sb, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(sb.String()) == 0 {
+		t.Error("no output")
+	}
+}

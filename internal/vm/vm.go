@@ -1,0 +1,311 @@
+// Package vm models per-process paged virtual memory over mapped
+// segments: a fixed frame quota (MRproc/B), LRU replacement with the
+// clean-page preference used by Dynix-era pageout daemons, zero-fill
+// faults for pages of new mappings, and deferred write-back of dirty
+// victims through the disk's pageout queue.
+//
+// In the memory-mapped environment no read or write is explicit: the join
+// algorithms simply Touch address ranges, and all I/O happens here as a
+// consequence — page faults for reads, page replacement for writes —
+// exactly as in the paper's execution model.
+package vm
+
+import (
+	"container/list"
+	"fmt"
+
+	"mmjoin/internal/seg"
+	"mmjoin/internal/sim"
+)
+
+// Stats aggregates a pager's activity.
+type Stats struct {
+	Touches       int64 // Touch page visits
+	Hits          int64
+	Faults        int64 // misses (disk reads + zero fills)
+	DiskReads     int64
+	ZeroFills     int64
+	Evictions     int64
+	DirtyEvicts   int64
+	DirtyFlushed  int64 // dirty pages written by FlushSegment/FlushAll
+	CleanPrefHits int64 // evictions that skipped dirty LRU pages
+}
+
+// Policy selects the page replacement algorithm.
+type Policy int
+
+const (
+	// LRU evicts the least recently used page, preferring a clean page
+	// near the LRU end (the default; a good approximation of a mature
+	// Unix pager).
+	LRU Policy = iota
+	// FIFO evicts the oldest-loaded page regardless of use — the
+	// "simple page replacement algorithm" class the paper's Dynix
+	// testbed used, which thrashes much earlier than LRU.
+	FIFO
+	// Clock gives each page one second chance via a reference bit —
+	// between FIFO and LRU in quality.
+	Clock
+)
+
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	case Clock:
+		return "clock"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+type pageKey struct {
+	seg  *seg.Segment
+	page int
+}
+
+type frame struct {
+	key        pageKey
+	dirty      bool
+	referenced bool // Clock's second-chance bit
+}
+
+// Pager is one process's private memory. The frame quota models MRproc/B.
+type Pager struct {
+	name      string
+	frames    int
+	policy    Policy
+	reserved  int // frames pinned by in-memory structures (hash tables, heaps)
+	resident  map[pageKey]*list.Element
+	lru       *list.List // front = most recent (LRU) / newest-loaded (FIFO, Clock)
+	prefDepth int        // how far from the LRU end to search for a clean victim
+	stats     Stats
+}
+
+// New creates an LRU pager with the given frame quota.
+func New(name string, frames int) *Pager {
+	return NewWithPolicy(name, frames, LRU)
+}
+
+// NewWithPolicy creates a pager with an explicit replacement policy.
+func NewWithPolicy(name string, frames int, policy Policy) *Pager {
+	if frames < 1 {
+		panic(fmt.Sprintf("vm: pager %s needs at least 1 frame, got %d", name, frames))
+	}
+	p := &Pager{
+		name:     name,
+		frames:   frames,
+		policy:   policy,
+		resident: make(map[pageKey]*list.Element),
+		lru:      list.New(),
+	}
+	p.prefDepth = frames / 8
+	if p.prefDepth < 4 {
+		p.prefDepth = 4
+	}
+	return p
+}
+
+// Policy returns the pager's replacement policy.
+func (pg *Pager) Policy() Policy { return pg.policy }
+
+// Name returns the pager's diagnostic name.
+func (pg *Pager) Name() string { return pg.name }
+
+// Frames returns the total frame quota.
+func (pg *Pager) Frames() int { return pg.frames }
+
+// Resident returns the number of resident pages.
+func (pg *Pager) Resident() int { return pg.lru.Len() }
+
+// Stats returns a snapshot of the counters.
+func (pg *Pager) Stats() Stats { return pg.stats }
+
+// Reserve pins n frames for memory-resident structures (a hash table, a
+// heap of pointers), shrinking the space available to mapped pages and
+// evicting immediately if necessary. It models the table overhead the
+// paper folds into its fuzz factor.
+func (pg *Pager) Reserve(p *sim.Proc, n int) {
+	if n < 0 {
+		panic("vm: negative Reserve")
+	}
+	if pg.reserved+n >= pg.frames {
+		// Leave at least one frame for mapped pages.
+		n = pg.frames - 1 - pg.reserved
+		if n < 0 {
+			n = 0
+		}
+	}
+	pg.reserved += n
+	for pg.lru.Len() > pg.avail() {
+		pg.evictOne(p)
+	}
+}
+
+// Unreserve releases n pinned frames.
+func (pg *Pager) Unreserve(n int) {
+	if n > pg.reserved {
+		n = pg.reserved
+	}
+	pg.reserved -= n
+}
+
+// Reserved returns the number of pinned frames.
+func (pg *Pager) Reserved() int { return pg.reserved }
+
+func (pg *Pager) avail() int { return pg.frames - pg.reserved }
+
+// Touch accesses the byte range [off, off+n) of segment s, faulting pages
+// in as needed. If write is true the touched pages are dirtied. The
+// calling process pays all fault service time.
+func (pg *Pager) Touch(p *sim.Proc, s *seg.Segment, off, n int64, write bool) {
+	if n <= 0 {
+		return
+	}
+	if off < 0 || off+n > s.Bytes() {
+		panic(fmt.Sprintf("vm: %s touches %s[%d,%d) beyond %d bytes",
+			pg.name, s.Name(), off, off+n, s.Bytes()))
+	}
+	b := int64(s.Manager().BlockBytes())
+	first := int(off / b)
+	last := int((off + n - 1) / b)
+	for page := first; page <= last; page++ {
+		pg.touchPage(p, s, page, write)
+	}
+}
+
+// TouchPage accesses a single page directly.
+func (pg *Pager) TouchPage(p *sim.Proc, s *seg.Segment, page int, write bool) {
+	pg.touchPage(p, s, page, write)
+}
+
+func (pg *Pager) touchPage(p *sim.Proc, s *seg.Segment, page int, write bool) {
+	pg.stats.Touches++
+	key := pageKey{seg: s, page: page}
+	if el, ok := pg.resident[key]; ok {
+		pg.stats.Hits++
+		fr := el.Value.(*frame)
+		switch pg.policy {
+		case LRU:
+			pg.lru.MoveToFront(el)
+		case Clock:
+			fr.referenced = true
+		case FIFO:
+			// Load order only; a hit changes nothing.
+		}
+		if write {
+			fr.dirty = true
+		}
+		return
+	}
+	pg.stats.Faults++
+	for pg.lru.Len() >= pg.avail() {
+		pg.evictOne(p)
+	}
+	if s.OnDisk(page) {
+		pg.stats.DiskReads++
+		s.Disk().Read(p, s.Block(page))
+	} else {
+		pg.stats.ZeroFills++
+	}
+	el := pg.lru.PushFront(&frame{key: key, dirty: write})
+	pg.resident[key] = el
+}
+
+// evictOne removes one resident page according to the policy. LRU and
+// FIFO prefer a clean page within prefDepth of the eviction end (the
+// clean-page preference of Unix pageout daemons); Clock gives referenced
+// pages a second chance. A dirty victim is queued on its disk's pageout
+// daemon.
+func (pg *Pager) evictOne(p *sim.Proc) {
+	if pg.lru.Len() == 0 {
+		panic(fmt.Sprintf("vm: %s evict with no resident pages", pg.name))
+	}
+	var victim *list.Element
+	switch pg.policy {
+	case Clock:
+		// Sweep from the oldest end, clearing reference bits.
+		for {
+			el := pg.lru.Back()
+			fr := el.Value.(*frame)
+			if fr.referenced {
+				fr.referenced = false
+				pg.lru.MoveToFront(el)
+				continue
+			}
+			victim = el
+			break
+		}
+	default: // LRU, FIFO: clean-page preference near the eviction end
+		depth := 0
+		for el := pg.lru.Back(); el != nil && depth < pg.prefDepth; el = el.Prev() {
+			if !el.Value.(*frame).dirty {
+				victim = el
+				break
+			}
+			depth++
+		}
+		if victim == nil {
+			victim = pg.lru.Back()
+		} else if victim != pg.lru.Back() {
+			pg.stats.CleanPrefHits++
+		}
+	}
+	fr := victim.Value.(*frame)
+	pg.lru.Remove(victim)
+	delete(pg.resident, fr.key)
+	pg.stats.Evictions++
+	if fr.dirty {
+		pg.stats.DirtyEvicts++
+		fr.key.seg.MarkOnDisk(fr.key.page)
+		fr.key.seg.Disk().ScheduleWrite(p, fr.key.seg.Block(fr.key.page))
+	}
+}
+
+// FlushSegment writes back all dirty resident pages of s (without
+// evicting them) so that the segment's on-disk image is complete.
+func (pg *Pager) FlushSegment(p *sim.Proc, s *seg.Segment) {
+	for el := pg.lru.Front(); el != nil; el = el.Next() {
+		fr := el.Value.(*frame)
+		if fr.key.seg == s && fr.dirty {
+			fr.dirty = false
+			pg.stats.DirtyFlushed++
+			s.MarkOnDisk(fr.key.page)
+			s.Disk().ScheduleWrite(p, s.Block(fr.key.page))
+		}
+	}
+}
+
+// DropSegment discards all resident pages of s without write-back; used
+// when a mapping is deleted together with its data.
+func (pg *Pager) DropSegment(s *seg.Segment) {
+	var next *list.Element
+	for el := pg.lru.Front(); el != nil; el = next {
+		next = el.Next()
+		if el.Value.(*frame).key.seg == s {
+			delete(pg.resident, el.Value.(*frame).key)
+			pg.lru.Remove(el)
+		}
+	}
+}
+
+// FlushAll writes back every dirty resident page.
+func (pg *Pager) FlushAll(p *sim.Proc) {
+	for el := pg.lru.Front(); el != nil; el = el.Next() {
+		fr := el.Value.(*frame)
+		if fr.dirty {
+			fr.dirty = false
+			pg.stats.DirtyFlushed++
+			fr.key.seg.MarkOnDisk(fr.key.page)
+			fr.key.seg.Disk().ScheduleWrite(p, fr.key.seg.Block(fr.key.page))
+		}
+	}
+}
+
+// IsResident reports whether the given page of s is in memory (test and
+// instrumentation hook).
+func (pg *Pager) IsResident(s *seg.Segment, page int) bool {
+	_, ok := pg.resident[pageKey{seg: s, page: page}]
+	return ok
+}

@@ -1,0 +1,430 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mmjoin/internal/disk"
+	"mmjoin/internal/seg"
+	"mmjoin/internal/sim"
+)
+
+const pageBytes = 4096
+
+type rig struct {
+	k *sim.Kernel
+	d *disk.Disk
+	m *seg.Manager
+}
+
+func newRig() *rig {
+	k := sim.NewKernel()
+	cfg := disk.DefaultConfig()
+	cfg.Blocks = 20000
+	d := disk.MustNew(k, "d0", cfg)
+	return &rig{k: k, d: d, m: seg.NewManager(seg.NewSystem(seg.DefaultSetupCost()), d)}
+}
+
+func (r *rig) run(fn func(p *sim.Proc)) sim.Time {
+	r.k.Spawn("t", func(p *sim.Proc) {
+		fn(p)
+		r.d.Drain(p)
+		r.d.Close()
+	})
+	return r.k.Run()
+}
+
+func TestHitCostsNothing(t *testing.T) {
+	r := newRig()
+	pg := New("pg", 8)
+	r.run(func(p *sim.Proc) {
+		s := r.m.Preexisting("s", 4*pageBytes)
+		pg.Touch(p, s, 0, 100, false)
+		before := p.Now()
+		pg.Touch(p, s, 0, 100, false) // same page: hit
+		if p.Now() != before {
+			t.Error("page hit should cost no time")
+		}
+	})
+	st := pg.Stats()
+	if st.Hits != 1 || st.Faults != 1 || st.DiskReads != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestZeroFillFaultDoesNoIO(t *testing.T) {
+	r := newRig()
+	pg := New("pg", 8)
+	r.run(func(p *sim.Proc) {
+		s := r.m.NewMap(p, "new", 4*pageBytes)
+		before := p.Now()
+		pg.Touch(p, s, 0, pageBytes, true)
+		if p.Now() != before {
+			t.Error("zero-fill fault should be free of disk time")
+		}
+	})
+	st := pg.Stats()
+	if st.ZeroFills != 1 || st.DiskReads != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTouchSpansPages(t *testing.T) {
+	r := newRig()
+	pg := New("pg", 8)
+	r.run(func(p *sim.Proc) {
+		s := r.m.Preexisting("s", 4*pageBytes)
+		pg.Touch(p, s, pageBytes-1, 2, false) // straddles pages 0 and 1
+	})
+	if st := pg.Stats(); st.Faults != 2 {
+		t.Errorf("Faults = %d, want 2", st.Faults)
+	}
+}
+
+func TestTouchBeyondSegmentPanics(t *testing.T) {
+	r := newRig()
+	pg := New("pg", 8)
+	r.run(func(p *sim.Proc) {
+		s := r.m.Preexisting("s", pageBytes)
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		pg.Touch(p, s, 0, pageBytes+1, false)
+	})
+}
+
+func TestLRUEviction(t *testing.T) {
+	r := newRig()
+	pg := New("pg", 4)
+	r.run(func(p *sim.Proc) {
+		s := r.m.Preexisting("s", 10*pageBytes)
+		for pageIdx := 0; pageIdx < 5; pageIdx++ {
+			pg.TouchPage(p, s, pageIdx, false)
+		}
+		if pg.IsResident(s, 0) {
+			t.Error("page 0 should have been evicted (LRU)")
+		}
+		for _, pageIdx := range []int{1, 2, 3, 4} {
+			if !pg.IsResident(s, pageIdx) {
+				t.Errorf("page %d should be resident", pageIdx)
+			}
+		}
+	})
+}
+
+func TestLRUOrderRespectsRecency(t *testing.T) {
+	r := newRig()
+	pg := New("pg", 3)
+	r.run(func(p *sim.Proc) {
+		s := r.m.Preexisting("s", 10*pageBytes)
+		pg.TouchPage(p, s, 0, false)
+		pg.TouchPage(p, s, 1, false)
+		pg.TouchPage(p, s, 2, false)
+		pg.TouchPage(p, s, 0, false) // refresh 0; now 1 is LRU
+		pg.TouchPage(p, s, 3, false)
+		if pg.IsResident(s, 1) {
+			t.Error("page 1 should be the eviction victim")
+		}
+		if !pg.IsResident(s, 0) {
+			t.Error("recently used page 0 evicted")
+		}
+	})
+}
+
+func TestCleanPagePreference(t *testing.T) {
+	r := newRig()
+	pg := New("pg", 4) // prefDepth = 4
+	r.run(func(p *sim.Proc) {
+		s := r.m.Preexisting("s", 10*pageBytes)
+		pg.TouchPage(p, s, 0, true)  // dirty, LRU end
+		pg.TouchPage(p, s, 1, false) // clean
+		pg.TouchPage(p, s, 2, true)  // dirty
+		pg.TouchPage(p, s, 3, true)  // dirty
+		pg.TouchPage(p, s, 4, false) // forces eviction
+		if pg.IsResident(s, 1) {
+			t.Error("clean page 1 should be preferred victim over dirty LRU page 0")
+		}
+		if !pg.IsResident(s, 0) {
+			t.Error("dirty page 0 evicted despite clean candidate")
+		}
+	})
+	if pg.Stats().CleanPrefHits != 1 {
+		t.Errorf("CleanPrefHits = %d, want 1", pg.Stats().CleanPrefHits)
+	}
+}
+
+func TestDirtyEvictionSchedulesWriteAndMarksOnDisk(t *testing.T) {
+	r := newRig()
+	pg := New("pg", 2)
+	var s *seg.Segment
+	r.run(func(p *sim.Proc) {
+		s = r.m.NewMap(p, "tmp", 10*pageBytes)
+		pg.TouchPage(p, s, 0, true)
+		pg.TouchPage(p, s, 1, true)
+		pg.TouchPage(p, s, 2, true) // evicts page 0 (dirty, no clean candidate)
+		if s.OnDisk(0) != true {
+			t.Error("evicted dirty page should be marked on disk")
+		}
+	})
+	if r.d.Stats().Writes == 0 {
+		t.Error("dirty eviction produced no disk write")
+	}
+	if pg.Stats().DirtyEvicts != 1 {
+		t.Errorf("DirtyEvicts = %d, want 1", pg.Stats().DirtyEvicts)
+	}
+}
+
+func TestRefaultAfterDirtyEvictReadsDisk(t *testing.T) {
+	// The premature-replacement cost the paper's urn model counts: one
+	// extra write plus one extra read.
+	r := newRig()
+	pg := New("pg", 2)
+	r.run(func(p *sim.Proc) {
+		s := r.m.NewMap(p, "tmp", 10*pageBytes)
+		pg.TouchPage(p, s, 0, true)
+		pg.TouchPage(p, s, 1, true)
+		pg.TouchPage(p, s, 2, true) // evict 0
+		pg.TouchPage(p, s, 0, false)
+	})
+	if got := pg.Stats().DiskReads; got != 1 {
+		t.Errorf("DiskReads = %d, want 1 (re-fault of written-back page)", got)
+	}
+}
+
+func TestReserveShrinksQuota(t *testing.T) {
+	r := newRig()
+	pg := New("pg", 8)
+	r.run(func(p *sim.Proc) {
+		s := r.m.Preexisting("s", 20*pageBytes)
+		for pageIdx := 0; pageIdx < 8; pageIdx++ {
+			pg.TouchPage(p, s, pageIdx, false)
+		}
+		if pg.Resident() != 8 {
+			t.Fatalf("Resident = %d", pg.Resident())
+		}
+		pg.Reserve(p, 5)
+		if pg.Resident() != 3 {
+			t.Errorf("Resident after Reserve(5) = %d, want 3", pg.Resident())
+		}
+		pg.Unreserve(5)
+		if pg.Reserved() != 0 {
+			t.Errorf("Reserved = %d", pg.Reserved())
+		}
+	})
+}
+
+func TestReserveNeverStarvesMappedPages(t *testing.T) {
+	r := newRig()
+	pg := New("pg", 4)
+	r.run(func(p *sim.Proc) {
+		pg.Reserve(p, 100) // clamped: at least one frame remains
+		s := r.m.Preexisting("s", 4*pageBytes)
+		pg.TouchPage(p, s, 0, false) // must not panic
+	})
+	if pg.Reserved() != 3 {
+		t.Errorf("Reserved = %d, want 3", pg.Reserved())
+	}
+}
+
+func TestFlushSegment(t *testing.T) {
+	r := newRig()
+	pg := New("pg", 8)
+	var s *seg.Segment
+	r.run(func(p *sim.Proc) {
+		s = r.m.NewMap(p, "tmp", 4*pageBytes)
+		pg.Touch(p, s, 0, 3*pageBytes, true)
+		pg.FlushSegment(p, s)
+		for pageIdx := 0; pageIdx < 3; pageIdx++ {
+			if !s.OnDisk(pageIdx) {
+				t.Errorf("page %d not on disk after flush", pageIdx)
+			}
+		}
+	})
+	if got := pg.Stats().DirtyFlushed; got != 3 {
+		t.Errorf("DirtyFlushed = %d, want 3", got)
+	}
+	if w := r.d.Stats().Writes; w != 3 {
+		t.Errorf("disk writes = %d, want 3", w)
+	}
+}
+
+func TestDropSegment(t *testing.T) {
+	r := newRig()
+	pg := New("pg", 8)
+	r.run(func(p *sim.Proc) {
+		s := r.m.NewMap(p, "tmp", 4*pageBytes)
+		keep := r.m.Preexisting("keep", 2*pageBytes)
+		pg.Touch(p, s, 0, 4*pageBytes, true)
+		pg.TouchPage(p, keep, 0, false)
+		pg.DropSegment(s)
+		if pg.Resident() != 1 {
+			t.Errorf("Resident = %d, want 1", pg.Resident())
+		}
+		if !pg.IsResident(keep, 0) {
+			t.Error("unrelated page dropped")
+		}
+	})
+	// Dropped dirty pages must not be written.
+	if w := r.d.Stats().Writes; w != 0 {
+		t.Errorf("disk writes = %d, want 0", w)
+	}
+}
+
+func TestFlushAllIdempotent(t *testing.T) {
+	r := newRig()
+	pg := New("pg", 8)
+	r.run(func(p *sim.Proc) {
+		s := r.m.NewMap(p, "tmp", 2*pageBytes)
+		pg.Touch(p, s, 0, 2*pageBytes, true)
+		pg.FlushAll(p)
+		pg.FlushAll(p) // second flush: nothing dirty
+	})
+	if got := pg.Stats().DirtyFlushed; got != 2 {
+		t.Errorf("DirtyFlushed = %d, want 2", got)
+	}
+}
+
+func TestSequentialScanFaultsOncePerPage(t *testing.T) {
+	r := newRig()
+	pg := New("pg", 4)
+	var elapsed sim.Time
+	r.run(func(p *sim.Proc) {
+		s := r.m.Preexisting("s", 100*pageBytes)
+		start := p.Now()
+		// Scan 100 pages object by object (128-byte objects).
+		for off := int64(0); off < 100*pageBytes; off += 128 {
+			pg.Touch(p, s, off, 128, false)
+		}
+		elapsed = p.Now() - start
+	})
+	st := pg.Stats()
+	if st.Faults != 100 {
+		t.Errorf("Faults = %d, want 100", st.Faults)
+	}
+	// Cost should be 100 sequential block reads (the head starts at
+	// block 0, so the very first read is a sequential continuation too).
+	cfg := r.d.Config()
+	seqCost := sim.Time(100) * (cfg.Transfer + cfg.FaultOverhead)
+	if elapsed != seqCost {
+		t.Errorf("scan cost %v, want %v", elapsed, seqCost)
+	}
+}
+
+// Property: resident never exceeds quota, and every touched page is
+// resident immediately after its touch.
+func TestQuickQuotaInvariant(t *testing.T) {
+	f := func(pages []uint8, writes []bool, quota uint8) bool {
+		frames := int(quota)%16 + 1
+		r := newRig()
+		pg := New("pg", frames)
+		ok := true
+		r.run(func(p *sim.Proc) {
+			s := r.m.Preexisting("s", 256*pageBytes)
+			for i, raw := range pages {
+				if i >= 64 {
+					break
+				}
+				w := i < len(writes) && writes[i]
+				pg.TouchPage(p, s, int(raw), w)
+				if pg.Resident() > frames {
+					ok = false
+				}
+				if !pg.IsResident(s, int(raw)) {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: total faults = disk reads + zero fills, and hits + faults =
+// touches.
+func TestQuickStatsConsistent(t *testing.T) {
+	f := func(pages []uint8) bool {
+		r := newRig()
+		pg := New("pg", 6)
+		r.run(func(p *sim.Proc) {
+			s := r.m.NewMap(p, "s", 256*pageBytes)
+			for i, raw := range pages {
+				if i >= 80 {
+					break
+				}
+				pg.TouchPage(p, s, int(raw), raw%3 == 0)
+			}
+		})
+		st := pg.Stats()
+		return st.Faults == st.DiskReads+st.ZeroFills && st.Hits+st.Faults == st.Touches
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if LRU.String() != "lru" || FIFO.String() != "fifo" || Clock.String() != "clock" ||
+		Policy(9).String() == "" {
+		t.Error("Policy.String broken")
+	}
+}
+
+func TestFIFOIgnoresRecency(t *testing.T) {
+	r := newRig()
+	pg := NewWithPolicy("pg", 3, FIFO)
+	r.run(func(p *sim.Proc) {
+		s := r.m.Preexisting("s", 10*pageBytes)
+		pg.TouchPage(p, s, 0, false)
+		pg.TouchPage(p, s, 1, false)
+		pg.TouchPage(p, s, 2, false)
+		pg.TouchPage(p, s, 0, false) // re-reference page 0: FIFO ignores it
+		pg.TouchPage(p, s, 3, false)
+		if pg.IsResident(s, 0) {
+			t.Error("FIFO should evict oldest-loaded page 0 despite the re-reference")
+		}
+	})
+}
+
+func TestClockSecondChance(t *testing.T) {
+	r := newRig()
+	pg := NewWithPolicy("pg", 3, Clock)
+	r.run(func(p *sim.Proc) {
+		s := r.m.Preexisting("s", 10*pageBytes)
+		pg.TouchPage(p, s, 0, false)
+		pg.TouchPage(p, s, 1, false)
+		pg.TouchPage(p, s, 2, false)
+		pg.TouchPage(p, s, 0, false) // sets 0's reference bit
+		pg.TouchPage(p, s, 3, false) // sweep: 0 spared (bit), 1 evicted
+		if !pg.IsResident(s, 0) {
+			t.Error("Clock should spare the referenced page 0")
+		}
+		if pg.IsResident(s, 1) {
+			t.Error("Clock should evict the unreferenced page 1")
+		}
+	})
+}
+
+func TestFIFOThrashesEarlierThanLRU(t *testing.T) {
+	// A loop over frames+1 pages with occasional re-touches: LRU keeps
+	// the hot page resident; FIFO cycles everything (Belady-style).
+	faultsFor := func(policy Policy) int64 {
+		r := newRig()
+		pg := NewWithPolicy("pg", 4, policy)
+		r.run(func(p *sim.Proc) {
+			s := r.m.Preexisting("s", 64*pageBytes)
+			for round := 0; round < 30; round++ {
+				pg.TouchPage(p, s, 0, false) // hot page
+				pg.TouchPage(p, s, 1+round%4, false)
+				pg.TouchPage(p, s, 5+round%3, false)
+			}
+		})
+		return pg.Stats().Faults
+	}
+	if lru, fifo := faultsFor(LRU), faultsFor(FIFO); fifo <= lru {
+		t.Errorf("FIFO faults (%d) should exceed LRU faults (%d)", fifo, lru)
+	}
+}
