@@ -15,6 +15,7 @@ import (
 
 	"mmjoin/internal/disk"
 	"mmjoin/internal/machine"
+	"mmjoin/internal/metrics"
 	"mmjoin/internal/model"
 	"mmjoin/internal/seg"
 )
@@ -24,6 +25,7 @@ func main() {
 	ops := flag.Int("ops", 3000, "random I/Os measured per band size (1a)")
 	seed := flag.Int64("seed", 1, "random seed for access patterns")
 	jsonOut := flag.String("json", "", "also write the full calibration to this file (for optimizers)")
+	metricsPath := flag.String("metrics", "", "export Fig 1(a) per-band service-time telemetry to this JSONL file")
 	flag.Parse()
 
 	cfg := machine.DefaultConfig()
@@ -41,25 +43,42 @@ func main() {
 		f.Close()
 		fmt.Printf("calibration written to %s\n\n", *jsonOut)
 	}
+	var reg *metrics.Registry
+	if *metricsPath != "" {
+		reg = metrics.New()
+	}
 	switch *fig {
 	case "1a":
-		fig1a(cfg, *ops, *seed)
+		fig1a(cfg, *ops, *seed, reg)
 	case "1b":
 		fig1b(cfg)
 	case "all":
-		fig1a(cfg, *ops, *seed)
+		fig1a(cfg, *ops, *seed, reg)
 		fmt.Println()
 		fig1b(cfg)
 	default:
 		fmt.Fprintf(os.Stderr, "calibrate: unknown figure %q\n", *fig)
 		os.Exit(2)
 	}
+	if reg != nil {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "calibrate:", err)
+			os.Exit(1)
+		}
+		if err := reg.WriteJSONL(f); err != nil {
+			fmt.Fprintln(os.Stderr, "calibrate:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("\ntelemetry written to %s\n", *metricsPath)
+	}
 }
 
-func fig1a(cfg machine.Config, ops int, seed int64) {
+func fig1a(cfg machine.Config, ops int, seed int64, reg *metrics.Registry) {
 	fmt.Println("Fig 1(a): disk transfer time (ms per 4K block) vs band size")
 	fmt.Println("band(blocks)    dttr      dttw")
-	for _, pt := range disk.MeasureDTT(cfg.Disk, disk.StandardBands, ops, seed) {
+	for _, pt := range disk.MeasureDTTInstrumented(cfg.Disk, disk.StandardBands, ops, seed, reg) {
 		fmt.Printf("%12d  %6.2f    %6.2f\n", pt.Band, pt.Read.Milliseconds(), pt.Write.Milliseconds())
 	}
 }

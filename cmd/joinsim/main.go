@@ -6,17 +6,25 @@
 //
 //	joinsim -alg nested-loops|sort-merge|grace [-mem-frac F] [-objects N]
 //	        [-d D] [-g BYTES] [-dist uniform|zipf|local|hot] [-seed N]
+//	        [-metrics PATH] [-metrics-tick-ms MS]
+//
+// With -metrics, the run's telemetry (disk queue depths, arm utilization,
+// per-pager fault rates, service-time histograms, phase events) is
+// exported to PATH — CSV when the path ends in .csv, JSONL otherwise.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"mmjoin/internal/core"
 	"mmjoin/internal/join"
 	"mmjoin/internal/machine"
+	"mmjoin/internal/metrics"
 	"mmjoin/internal/relation"
+	"mmjoin/internal/sim"
 	"mmjoin/internal/trace"
 	"mmjoin/internal/vm"
 )
@@ -33,6 +41,8 @@ func main() {
 	policy := flag.String("policy", "lru", "page replacement policy: lru, fifo, clock")
 	showTrace := flag.Bool("trace", false, "render a per-process phase timeline")
 	sync := flag.Bool("sync", false, "synchronize pass-1 phases (nested loops)")
+	metricsPath := flag.String("metrics", "", "export run telemetry to this path (.csv: CSV, otherwise JSONL)")
+	metricsTick := flag.Int64("metrics-tick-ms", 0, "gauge sampling interval in virtual ms (0: default 100)")
 	flag.Parse()
 
 	alg, ok := parseAlg(*algName)
@@ -86,6 +96,12 @@ func main() {
 		tl = trace.New()
 		prm.Trace = tl
 	}
+	var reg *metrics.Registry
+	if *metricsPath != "" {
+		reg = metrics.New()
+		prm.Metrics = reg
+		prm.MetricsTick = sim.Time(*metricsTick) * sim.Millisecond
+	}
 	cmp, err := e.Compare(alg, prm)
 	if err != nil {
 		fatal(err)
@@ -108,6 +124,18 @@ func main() {
 	}
 	fmt.Printf("\nI/O: %d reads, %d writes; %d faults (%d zero-fill), %d dirty evictions\n",
 		res.DiskReads, res.DiskWrites, res.Faults, res.ZeroFills, res.DirtyEvicts)
+	ds := res.Disk
+	fmt.Printf("disk service: seek %.1fs + rotation %.1fs + transfer %.1fs + overhead %.1fs = %.1fs",
+		ds.SeekTime.Seconds(), ds.RotationTime.Seconds(), ds.TransferTime.Seconds(),
+		ds.OverheadTime.Seconds(), ds.ServiceSum.Seconds())
+	if ds.Stalls > 0 {
+		fmt.Printf("   (%d write stalls)", ds.Stalls)
+	}
+	fmt.Println()
+	if res.ReserveClamped > 0 {
+		fmt.Printf("warning: %d table reservations were clamped below the plan (memory too small)\n",
+			res.ReserveClamped)
+	}
 	fmt.Printf("join: %d pairs, signature %016x, %d context switches\n",
 		res.Pairs, res.Signature, res.ContextSwitches)
 	switch alg {
@@ -123,6 +151,27 @@ func main() {
 			fatal(err)
 		}
 	}
+	if reg != nil {
+		if err := writeMetrics(reg, *metricsPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ntelemetry: %d samples, %d events -> %s\n",
+			len(reg.Samples()), len(reg.Events()), *metricsPath)
+	}
+}
+
+// writeMetrics exports the registry to path, choosing the format from the
+// extension: .csv selects the wide gauge table, everything else JSONL.
+func writeMetrics(reg *metrics.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		return reg.WriteCSV(f)
+	}
+	return reg.WriteJSONL(f)
 }
 
 func parseAlg(s string) (join.Algorithm, bool) {

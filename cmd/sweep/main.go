@@ -20,13 +20,20 @@ import (
 	"mmjoin/internal/core"
 	"mmjoin/internal/join"
 	"mmjoin/internal/machine"
+	"mmjoin/internal/metrics"
 	"mmjoin/internal/relation"
 )
+
+// metricsBase, when set, makes the Fig. 5 sweeps export one JSONL
+// telemetry file per data point: <base>.<alg>.<frac>.jsonl.
+var metricsBase string
 
 func main() {
 	fig := flag.String("fig", "all", "experiment: 5a, 5b, 5c, all, contention, speedup, scaleup, hybrid, dist")
 	objects := flag.Int("objects", 102400, "objects per relation (paper: 102400)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	flag.StringVar(&metricsBase, "metrics", "",
+		"telemetry base path for the Fig 5 sweeps (writes BASE.<alg>.<frac>.jsonl per point)")
 	flag.Parse()
 
 	cfg := machine.DefaultConfig()
@@ -84,9 +91,25 @@ func fig5(cfg machine.Config, spec relation.Spec, alg join.Algorithm) {
 		fatal(err)
 	}
 	fmt.Println("MRproc/|R|   experiment(s)    model(s)   error    detail")
-	pts, err := e.SweepMemory(alg, nil)
-	if err != nil {
-		fatal(err)
+	var pts []core.Comparison
+	for _, f := range core.Fig5Fractions(alg) {
+		prm := e.ParamsForFraction(f)
+		var reg *metrics.Registry
+		if metricsBase != "" {
+			reg = metrics.New()
+			prm.Metrics = reg
+		}
+		c, err := e.Compare(alg, prm)
+		if err != nil {
+			fatal(fmt.Errorf("sweep at %.3f: %w", f, err))
+		}
+		if reg != nil {
+			path := fmt.Sprintf("%s.%s.%.3f.jsonl", metricsBase, alg, f)
+			if err := exportJSONL(reg, path); err != nil {
+				fatal(err)
+			}
+		}
+		pts = append(pts, *c)
 	}
 	for _, c := range pts {
 		detail := ""
@@ -167,6 +190,15 @@ func scaleup(cfg machine.Config, spec relation.Spec) {
 		}
 		fmt.Println()
 	}
+}
+
+func exportJSONL(reg *metrics.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return reg.WriteJSONL(f)
 }
 
 func fatal(err error) {

@@ -1,8 +1,10 @@
 package disk
 
 import (
+	"fmt"
 	"math/rand"
 
+	"mmjoin/internal/metrics"
 	"mmjoin/internal/sim"
 )
 
@@ -25,12 +27,22 @@ var StandardBands = []int{1, 100, 400, 800, 1600, 3200, 4800, 6400, 8000, 9600, 
 // (more gives smoother averages). The measurement is deterministic for a
 // fixed seed.
 func MeasureDTT(cfg Config, bands []int, opsPerBand int, seed int64) []DTTPoint {
+	return MeasureDTTInstrumented(cfg, bands, opsPerBand, seed, nil)
+}
+
+// MeasureDTTInstrumented is MeasureDTT with per-measurement telemetry:
+// each (band size, direction) pair runs on its own drive named
+// calib.b<band>.<read|write>, so the registry collects one set of
+// service-time histograms and counters per point. A nil registry reduces
+// to the plain measurement.
+func MeasureDTTInstrumented(cfg Config, bands []int, opsPerBand int, seed int64,
+	reg *metrics.Registry) []DTTPoint {
 	points := make([]DTTPoint, 0, len(bands))
 	for _, band := range bands {
 		points = append(points, DTTPoint{
 			Band:  band,
-			Read:  measureOne(cfg, band, opsPerBand, seed, false),
-			Write: measureOne(cfg, band, opsPerBand, seed+1, true),
+			Read:  measureOne(cfg, fmt.Sprintf("calib.b%d.read", band), band, opsPerBand, seed, false, reg),
+			Write: measureOne(cfg, fmt.Sprintf("calib.b%d.write", band), band, opsPerBand, seed+1, true, reg),
 		})
 	}
 	return points
@@ -38,12 +50,14 @@ func MeasureDTT(cfg Config, bands []int, opsPerBand int, seed int64) []DTTPoint 
 
 // measureOne measures the per-block cost of random access (without
 // duplicates) in sequential band positions across the drive.
-func measureOne(cfg Config, band, ops int, seed int64, write bool) sim.Time {
+func measureOne(cfg Config, name string, band, ops int, seed int64, write bool,
+	reg *metrics.Registry) sim.Time {
 	if band < 1 {
 		panic("disk: band must be >= 1")
 	}
 	k := sim.NewKernel()
-	d := MustNew(k, "calib", cfg)
+	d := MustNew(k, name, cfg)
+	d.Instrument(reg)
 	rng := rand.New(rand.NewSource(seed))
 
 	area := cfg.Blocks / 2 // sweep the band across half the drive

@@ -15,6 +15,7 @@ import (
 	"math"
 	"sort"
 
+	"mmjoin/internal/metrics"
 	"mmjoin/internal/sim"
 )
 
@@ -69,13 +70,18 @@ func (c Config) validate() error {
 	return nil
 }
 
-// Stats aggregates the drive's activity.
+// Stats aggregates the drive's activity. The four time components are
+// tracked separately so the seek/rotation split is usable for model
+// calibration; they always sum to ServiceSum.
 type Stats struct {
-	Reads      int64
-	Writes     int64
-	SeekTime   sim.Time
-	ServiceSum sim.Time // total arm-busy service time
-	Stalls     int64    // writer stalls on a full dirty queue
+	Reads        int64
+	Writes       int64
+	SeekTime     sim.Time // arm movement only
+	RotationTime sim.Time // rotational latency
+	TransferTime sim.Time // media transfer
+	OverheadTime sim.Time // kernel fault / pageout-daemon handling
+	ServiceSum   sim.Time // total arm-busy service time (sum of the four)
+	Stalls       int64    // writer stalls on a full dirty queue
 }
 
 // Disk is one simulated drive (the paper's one-controller-per-disk case).
@@ -88,7 +94,7 @@ type Disk struct {
 	seq  int // next block for a zero-cost sequential continuation
 
 	dirty     []int
-	dirtySet  map[int]struct{}
+	dirtySet  map[int]struct{} // blocks in dirty (not blocks mid-flush)
 	work      *sim.Cond // flusher waits here when idle
 	space     *sim.Cond // writers wait here when the queue is full
 	drained   *sim.Cond // Drain waits here
@@ -97,6 +103,11 @@ type Disk struct {
 	flusherUp bool
 
 	stats Stats
+
+	// Optional instrumentation (nil-safe no-ops when not attached).
+	mStalls *metrics.Counter
+	mRead   [numBands]*metrics.Histogram // service time by seek band
+	mWrite  [numBands]*metrics.Histogram
 }
 
 // New creates a drive and spawns its pageout daemon on k.
@@ -137,6 +148,31 @@ func (d *Disk) Config() Config { return d.cfg }
 // Stats returns a snapshot of activity counters.
 func (d *Disk) Stats() Stats { return d.stats }
 
+// Instrument registers the drive's observability on reg: dirty-queue
+// depth and arm-utilization gauges, cumulative read/write gauges, a
+// stall counter, and per-band service-time histograms. A nil registry
+// leaves the drive un-instrumented (all hooks stay no-ops).
+func (d *Disk) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge(d.name+".dirty_queue", func() float64 { return float64(d.DirtyQueued()) })
+	reg.Gauge(d.name+".arm_util", func() float64 {
+		now := d.k.Now()
+		if now == 0 {
+			return 0
+		}
+		return float64(d.arm.BusyAt(now)) / float64(now)
+	})
+	reg.Gauge(d.name+".reads", func() float64 { return float64(d.stats.Reads) })
+	reg.Gauge(d.name+".writes", func() float64 { return float64(d.stats.Writes) })
+	d.mStalls = reg.Counter(d.name + ".stalls")
+	for bi, band := range bandNames {
+		d.mRead[bi] = reg.Histogram(d.name + ".read.service." + band)
+		d.mWrite[bi] = reg.Histogram(d.name + ".write.service." + band)
+	}
+}
+
 // cylinder maps a block number to its cylinder.
 func (d *Disk) cylinder(block int) int { return block / d.cfg.BlocksPerCylinder }
 
@@ -157,16 +193,64 @@ func (d *Disk) seekTime(fromCyl, toCyl int) sim.Time {
 	return d.cfg.SeekMin + sim.Time(float64(d.cfg.SeekMax-d.cfg.SeekMin)*frac)
 }
 
-// serviceTime computes arm+media time for accessing block, given the head
-// state, and whether this access continues a sequential run.
-func (d *Disk) serviceTime(block int, rotFactor float64) (t sim.Time, sequential bool) {
+// service is the component breakdown of one block access.
+type service struct {
+	seek, rot, transfer sim.Time
+	sequential          bool
+	dist                int // cylinders travelled
+}
+
+// total returns the arm+media time of the access.
+func (s service) total() sim.Time { return s.seek + s.rot + s.transfer }
+
+// serviceParts computes arm+media time components for accessing block,
+// given the head state. A sequential continuation costs transfer only.
+func (d *Disk) serviceParts(block int, rotFactor float64) service {
 	if block == d.seq {
-		return d.cfg.Transfer, true
+		return service{transfer: d.cfg.Transfer, sequential: true}
 	}
 	toCyl := d.cylinder(block)
-	st := d.seekTime(d.head, toCyl)
-	rot := sim.Time(float64(d.cfg.Rotation) / 2 * rotFactor)
-	return st + rot + d.cfg.Transfer, false
+	dist := d.head - toCyl
+	if dist < 0 {
+		dist = -dist
+	}
+	return service{
+		seek:     d.seekTime(d.head, toCyl),
+		rot:      sim.Time(float64(d.cfg.Rotation) / 2 * rotFactor),
+		transfer: d.cfg.Transfer,
+		dist:     dist,
+	}
+}
+
+// Seek bands for the per-band service-time histograms: sequential
+// continuations, short seeks, mid-range seeks, and long strokes.
+const numBands = 4
+
+var bandNames = [numBands]string{"seq", "near", "mid", "far"}
+
+// bandIndex classifies an access by arm travel.
+func bandIndex(sv service) int {
+	switch {
+	case sv.sequential:
+		return 0
+	case sv.dist <= 32:
+		return 1
+	case sv.dist <= 512:
+		return 2
+	}
+	return 3
+}
+
+// account folds one access into the stats and histograms.
+func (d *Disk) account(sv service, overhead sim.Time, hists *[numBands]*metrics.Histogram) sim.Time {
+	t := sv.total() + overhead
+	d.stats.SeekTime += sv.seek
+	d.stats.RotationTime += sv.rot
+	d.stats.TransferTime += sv.transfer
+	d.stats.OverheadTime += overhead
+	d.stats.ServiceSum += t
+	hists[bandIndex(sv)].Observe(t)
+	return t
 }
 
 func (d *Disk) checkBlock(block int) {
@@ -180,13 +264,9 @@ func (d *Disk) checkBlock(block int) {
 func (d *Disk) Read(p *sim.Proc, block int) {
 	d.checkBlock(block)
 	d.arm.Acquire(p)
-	t, seq := d.serviceTime(block, 1.0)
-	if !seq {
-		d.stats.SeekTime += t - d.cfg.Transfer
-	}
-	t += d.cfg.FaultOverhead
+	sv := d.serviceParts(block, 1.0)
+	t := d.account(sv, d.cfg.FaultOverhead, &d.mRead)
 	d.stats.Reads++
-	d.stats.ServiceSum += t
 	p.Advance(t)
 	d.head = d.cylinder(block)
 	d.seq = block + 1
@@ -194,17 +274,21 @@ func (d *Disk) Read(p *sim.Proc, block int) {
 }
 
 // ScheduleWrite queues a dirty block for deferred write-back. The caller
-// only blocks when the dirty queue is full (write throttling).
+// only blocks when the dirty queue is full (write throttling). A block
+// already queued is coalesced into the pending write; a block the
+// flusher has already picked up is re-queued for a second physical
+// write, since its first write may race the re-dirtying store.
 func (d *Disk) ScheduleWrite(p *sim.Proc, block int) {
 	if d.closed {
 		panic(fmt.Sprintf("disk %s: ScheduleWrite after Close", d.name))
 	}
 	d.checkBlock(block)
 	if _, dup := d.dirtySet[block]; dup {
-		return // already queued; one write suffices
+		return // already queued and not yet picked up; one write suffices
 	}
 	for len(d.dirty) >= d.cfg.WriteQueue {
 		d.stats.Stalls++
+		d.mStalls.Inc()
 		d.space.Wait(p)
 	}
 	d.dirty = append(d.dirty, block)
@@ -252,6 +336,12 @@ func (d *Disk) flusher(p *sim.Proc) {
 		batch := make([]int, n)
 		copy(batch, d.dirty[:n])
 		d.dirty = d.dirty[n:]
+		// Drop the batch from the dedup set NOW, not after the writes:
+		// a block re-dirtied while mid-flush must queue a second
+		// physical write, or the re-dirty is silently lost.
+		for _, b := range batch {
+			delete(d.dirtySet, b)
+		}
 		d.flushing = n
 		d.space.Broadcast()
 
@@ -263,19 +353,14 @@ func (d *Disk) flusher(p *sim.Proc) {
 			batch = append(batch[:i], batch[i+1:]...)
 
 			d.arm.Acquire(p)
-			t, seq := d.serviceTime(block, d.cfg.WriteRotFactor)
-			if !seq {
-				d.stats.SeekTime += t - d.cfg.Transfer
-			}
-			t += d.cfg.WriteOverhead
+			sv := d.serviceParts(block, d.cfg.WriteRotFactor)
+			t := d.account(sv, d.cfg.WriteOverhead, &d.mWrite)
 			d.stats.Writes++
-			d.stats.ServiceSum += t
 			p.Advance(t)
 			d.head = d.cylinder(block)
 			d.seq = block + 1
 			d.arm.Release(p)
 
-			delete(d.dirtySet, block)
 			d.flushing--
 		}
 		if len(d.dirty) == 0 && d.drained.Waiting() > 0 {

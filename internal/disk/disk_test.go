@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"mmjoin/internal/metrics"
 	"mmjoin/internal/sim"
 )
 
@@ -325,6 +326,152 @@ func TestMeasureDTTDeterministic(t *testing.T) {
 	b := MeasureDTT(cfg, []int{100}, 300, 42)
 	if a[0] != b[0] {
 		t.Errorf("calibration not deterministic: %+v vs %+v", a[0], b[0])
+	}
+}
+
+func TestRedirtyDuringFlushWritesTwice(t *testing.T) {
+	// Regression: a block re-dirtied after the flusher picked it up (but
+	// before its write completed) was silently coalesced away, losing the
+	// second store. It must be queued for a second physical write.
+	cfg := smallConfig()
+	k := sim.NewKernel()
+	d := MustNew(k, "d", cfg)
+	k.Spawn("w", func(p *sim.Proc) {
+		d.ScheduleWrite(p, 7)
+		// Yield so the flusher extracts the batch and starts the write
+		// (service time is several ms, so it is still mid-write).
+		p.Advance(sim.Millisecond)
+		if d.DirtyQueued() != 1 {
+			t.Errorf("DirtyQueued = %d mid-flush, want 1", d.DirtyQueued())
+		}
+		d.ScheduleWrite(p, 7) // re-dirty while the first write is in flight
+		d.Drain(p)
+		d.Close()
+	})
+	k.Run()
+	if got := d.Stats().Writes; got != 2 {
+		t.Errorf("Writes = %d, want 2 (re-dirty mid-flush must not be lost)", got)
+	}
+}
+
+func TestRedirtyBeforeFlushStillCoalesces(t *testing.T) {
+	// The dedup must still collapse duplicates that are queued but not yet
+	// picked up — only mid-flush re-dirties get a second write.
+	cfg := smallConfig()
+	k := sim.NewKernel()
+	d := MustNew(k, "d", cfg)
+	k.Spawn("w", func(p *sim.Proc) {
+		d.ScheduleWrite(p, 7)
+		d.ScheduleWrite(p, 7) // no yield: flusher has not run yet
+		d.Drain(p)
+		d.Close()
+	})
+	k.Run()
+	if got := d.Stats().Writes; got != 1 {
+		t.Errorf("Writes = %d, want 1 (still queued, coalesced)", got)
+	}
+}
+
+func TestStatsComponentsSumToServiceSum(t *testing.T) {
+	cfg := smallConfig()
+	k := sim.NewKernel()
+	d := MustNew(k, "d", cfg)
+	k.Spawn("w", func(p *sim.Proc) {
+		for i := 0; i < 40; i++ {
+			d.Read(p, (i*997)%cfg.Blocks)
+			if i%3 == 0 {
+				d.ScheduleWrite(p, (i*1201)%cfg.Blocks)
+			}
+		}
+		d.Drain(p)
+		d.Close()
+	})
+	k.Run()
+	s := d.Stats()
+	if sum := s.SeekTime + s.RotationTime + s.TransferTime + s.OverheadTime; sum != s.ServiceSum {
+		t.Errorf("components sum to %v, ServiceSum %v", sum, s.ServiceSum)
+	}
+	if s.SeekTime == 0 || s.RotationTime == 0 || s.TransferTime == 0 || s.OverheadTime == 0 {
+		t.Errorf("expected all components non-zero: %+v", s)
+	}
+}
+
+func TestSeekTimeExcludesRotation(t *testing.T) {
+	// Regression: rotational latency was lumped into SeekTime. After one
+	// full-stroke read, the seek component must be exactly SeekMax and the
+	// rotation component exactly Rotation/2.
+	cfg := smallConfig()
+	k := sim.NewKernel()
+	d := MustNew(k, "d", cfg)
+	k.Spawn("r", func(p *sim.Proc) {
+		d.Read(p, cfg.Blocks-1) // head starts at cylinder 0: full stroke
+		d.Close()
+	})
+	k.Run()
+	s := d.Stats()
+	if s.SeekTime != cfg.SeekMax {
+		t.Errorf("SeekTime = %v, want exactly SeekMax %v", s.SeekTime, cfg.SeekMax)
+	}
+	if want := cfg.Rotation / 2; s.RotationTime != want {
+		t.Errorf("RotationTime = %v, want %v", s.RotationTime, want)
+	}
+	if s.TransferTime != cfg.Transfer || s.OverheadTime != cfg.FaultOverhead {
+		t.Errorf("Transfer/Overhead = %v/%v, want %v/%v",
+			s.TransferTime, s.OverheadTime, cfg.Transfer, cfg.FaultOverhead)
+	}
+}
+
+func TestInstrumentPopulatesRegistry(t *testing.T) {
+	cfg := smallConfig()
+	cfg.WriteQueue = 4
+	cfg.WriteBatch = 2
+	k := sim.NewKernel()
+	reg := metrics.New()
+	d := MustNew(k, "d0", cfg)
+	d.Instrument(reg)
+	k.Spawn("w", func(p *sim.Proc) {
+		for i := 0; i < 30; i++ {
+			d.Read(p, (i*997)%cfg.Blocks)
+			d.ScheduleWrite(p, (i*37)%cfg.Blocks)
+		}
+		// Burst past the tiny queue without yielding to force stalls.
+		for i := 0; i < 20; i++ {
+			d.ScheduleWrite(p, (i*1201+5)%cfg.Blocks)
+		}
+		d.Drain(p)
+		d.Close()
+	})
+	k.Run()
+	reg.Sample(k.Now())
+	vals := reg.Samples()[0].Values
+	if vals["d0.reads"] != 30 {
+		t.Errorf("d0.reads gauge = %v", vals["d0.reads"])
+	}
+	if u := vals["d0.arm_util"]; u <= 0 || u > 1 {
+		t.Errorf("d0.arm_util = %v, want (0,1]", u)
+	}
+	var hTotal sim.Time
+	var hCount int64
+	for _, h := range reg.Histograms() {
+		hTotal += h.Sum()
+		hCount += h.Count()
+	}
+	s := d.Stats()
+	if hTotal != s.ServiceSum {
+		t.Errorf("histogram totals %v != ServiceSum %v", hTotal, s.ServiceSum)
+	}
+	if hCount != s.Reads+s.Writes {
+		t.Errorf("histogram count %d != reads+writes %d", hCount, s.Reads+s.Writes)
+	}
+	// The tiny queue forces stalls; they must reach the counter too.
+	var stallCounter int64 = -1
+	for _, c := range reg.Counters() {
+		if c.Name() == "d0.stalls" {
+			stallCounter = c.Value()
+		}
+	}
+	if stallCounter != s.Stalls || stallCounter <= 0 {
+		t.Errorf("stall counter %d, stats %d (want equal and positive)", stallCounter, s.Stalls)
 	}
 }
 

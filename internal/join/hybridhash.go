@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"mmjoin/internal/sim"
-	"mmjoin/internal/vm"
 )
 
 // runHybridHash executes a parallel pointer-based hybrid-hash join — the
@@ -129,7 +128,7 @@ func (r *runner) runHybridHash() {
 	for i := 0; i < r.d; i++ {
 		i := i
 		r.m.K.Spawn(fmt.Sprintf("Rproc%d", i), func(p *sim.Proc) {
-			pg := vm.NewWithPolicy(fmt.Sprintf("Rproc%d", i), frames(r.prm.MRproc, r.b), r.prm.Policy)
+			pg := r.newPager(fmt.Sprintf("Rproc%d", i), r.prm.MRproc)
 			mgr := r.m.Mgr[i]
 
 			mgr.OpenMap(p, r.segR[i])
@@ -211,8 +210,7 @@ func (r *runner) runHybridHash() {
 			for b := 0; b < k; b++ {
 				objs := rs[i].objs[b]
 				overheadBytes := int64(tsize)*8 + int64(len(objs))*int64(r.m.Cfg.HeapPtrBytes)
-				reserve := int((overheadBytes + r.b - 1) / r.b)
-				pg.Reserve(p, reserve)
+				reserve := r.reserve(p, pg, int((overheadBytes+r.b-1)/r.b))
 				for n := range objs {
 					off := (bucketStart[i][b] + int64(n)) * r.r
 					pg.Touch(p, rsSegments[i].s, off, r.r, false)

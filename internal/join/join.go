@@ -14,7 +14,9 @@ package join
 import (
 	"fmt"
 
+	"mmjoin/internal/disk"
 	"mmjoin/internal/machine"
+	"mmjoin/internal/metrics"
 	"mmjoin/internal/pheap"
 	"mmjoin/internal/relation"
 	"mmjoin/internal/seg"
@@ -93,6 +95,13 @@ type Params struct {
 
 	// Trace, when non-nil, records per-process phase events.
 	Trace *trace.Log
+
+	// Metrics, when non-nil, receives the run's telemetry: disk and pager
+	// gauges sampled every MetricsTick of virtual time, plus the same
+	// phase events that go to Trace. MetricsTick 0 selects
+	// metrics.DefaultTick.
+	Metrics     *metrics.Registry
+	MetricsTick sim.Time
 }
 
 // withDefaults fills derived defaults in place.
@@ -143,6 +152,14 @@ type Result struct {
 	ContextSwitches       int64
 	Heap                  pheap.Costs
 
+	// Disk is the machine-wide disk accounting (seek, rotation, transfer,
+	// and overhead service-time components, stall count).
+	Disk disk.Stats
+	// ReserveClamped counts vm.Reserve calls that were granted fewer
+	// frames than requested (the run still completes, but memory-resident
+	// structures were sized below the algorithm's plan).
+	ReserveClamped int64
+
 	// Parameter choices actually used (algorithm dependent; zero if n/a).
 	IRun, NPass, LRun int
 	K, TSize          int
@@ -159,6 +176,7 @@ func Run(alg Algorithm, cfg machine.Config, prm Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.StartMetrics(prm.Metrics, prm.MetricsTick)
 	r := newRunner(m, prm)
 	switch alg {
 	case NestedLoops:
@@ -251,11 +269,30 @@ type sRequest struct {
 	reply *sim.Chan
 }
 
+// newPager creates a pager with the run's replacement policy and attaches
+// it to the metrics registry (a no-op when none is configured).
+func (r *runner) newPager(name string, quota int64) *vm.Pager {
+	pg := vm.NewWithPolicy(name, frames(quota, r.b), r.prm.Policy)
+	pg.Instrument(r.prm.Metrics)
+	return pg
+}
+
+// reserve pins frames for a memory-resident structure, recording whether
+// the grant was clamped below the request, and returns the granted count
+// (which is what must later be passed to Unreserve).
+func (r *runner) reserve(p *sim.Proc, pg *vm.Pager, want int) int {
+	granted := pg.Reserve(p, want)
+	if granted < want {
+		r.res.ReserveClamped++
+	}
+	return granted
+}
+
 // spawnSprocs starts the D S-partition server processes.
 func (r *runner) spawnSprocs() {
 	for j := 0; j < r.d; j++ {
 		j := j
-		pg := vm.NewWithPolicy(fmt.Sprintf("Sproc%d", j), frames(r.prm.MSproc, r.b), r.prm.Policy)
+		pg := r.newPager(fmt.Sprintf("Sproc%d", j), r.prm.MSproc)
 		r.m.K.Spawn(fmt.Sprintf("Sproc%d", j), func(p *sim.Proc) {
 			for {
 				msg := r.sReq[j].Recv(p)
@@ -377,6 +414,7 @@ func (r *runner) markPhase(p *sim.Proc, name string) {
 		r.phaseIO[name] = [2]int64{ds.Reads, ds.Writes}
 	}
 	r.prm.Trace.Add(p.Now(), p.Name(), name)
+	r.prm.Metrics.Event(p.Now(), p.Name(), name)
 }
 
 func (r *runner) finishPhases(order []string) {
@@ -396,6 +434,7 @@ func (r *runner) collectStats() {
 	ds := r.m.DiskStats()
 	r.res.DiskReads = ds.Reads
 	r.res.DiskWrites = ds.Writes
+	r.res.Disk = ds
 }
 
 // addPagerStats accumulates a pager's counters into the result.

@@ -1,10 +1,12 @@
 package join
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
 	"mmjoin/internal/machine"
+	"mmjoin/internal/metrics"
 	"mmjoin/internal/relation"
 	"mmjoin/internal/sim"
 	"mmjoin/internal/trace"
@@ -447,6 +449,107 @@ func TestTraceRecordsAllProcsAndPhases(t *testing.T) {
 		if n != 4 { // setup, pass0, pass1, probe
 			t.Errorf("%s has %d events, want 4", name, n)
 		}
+	}
+}
+
+func TestMetricsCollectedDuringRun(t *testing.T) {
+	w := smallWorkload(4000, 44)
+	prm := smallParams(w, 64<<10)
+	reg := metrics.New()
+	prm.Metrics = reg
+	prm.MetricsTick = 50 * sim.Millisecond
+	res := MustRun(Grace, smallCfg(), prm)
+
+	samples := reg.Samples()
+	if len(samples) < 2 {
+		t.Fatalf("sampler collected %d samples", len(samples))
+	}
+	// Sampling must not leak past the end of the run by more than a tick.
+	lastAt := samples[len(samples)-1].At
+	if lastAt > res.Elapsed+prm.MetricsTick {
+		t.Errorf("last sample at %v, run ended %v: sampler not stopped", lastAt, res.Elapsed)
+	}
+	// Every layer must be represented in the sampled gauges.
+	last := samples[len(samples)-1].Values
+	var haveDisk, havePager, haveProc bool
+	for name := range last {
+		switch {
+		case strings.HasPrefix(name, "disk0."):
+			haveDisk = true
+		case strings.HasPrefix(name, "vm.Rproc0."):
+			havePager = true
+		case strings.HasPrefix(name, "proc.Rproc0."):
+			haveProc = true
+		}
+	}
+	if !haveDisk || !havePager || !haveProc {
+		t.Errorf("gauges missing a layer: disk=%v pager=%v proc=%v", haveDisk, havePager, haveProc)
+	}
+	// The last snapshot precedes the final I/Os, so its reads gauge is a
+	// positive lower bound on the result's counter.
+	var gaugeReads float64
+	for name, v := range last {
+		if strings.HasSuffix(name, ".reads") {
+			gaugeReads += v
+		}
+	}
+	if gaugeReads <= 0 || int64(gaugeReads) > res.DiskReads {
+		t.Errorf("summed reads gauges %v outside (0, %d]", gaugeReads, res.DiskReads)
+	}
+	// Phase events mirror the trace: 4 procs x 4 phases.
+	if got := len(reg.Events()); got != 16 {
+		t.Errorf("metrics recorded %d phase events, want 16", got)
+	}
+}
+
+func TestMetricsDoNotPerturbTiming(t *testing.T) {
+	// Instrumentation must be an observer: an instrumented run and a plain
+	// run are identical in virtual time and I/O.
+	w := smallWorkload(2000, 45)
+	plain := MustRun(Grace, smallCfg(), smallParams(w, 96<<10))
+	prm := smallParams(w, 96<<10)
+	prm.Metrics = metrics.New()
+	instr := MustRun(Grace, smallCfg(), prm)
+	if plain.Elapsed != instr.Elapsed || plain.DiskReads != instr.DiskReads ||
+		plain.DiskWrites != instr.DiskWrites || plain.Signature != instr.Signature {
+		t.Errorf("instrumented run diverged: %v/%d/%d vs %v/%d/%d",
+			instr.Elapsed, instr.DiskReads, instr.DiskWrites,
+			plain.Elapsed, plain.DiskReads, plain.DiskWrites)
+	}
+}
+
+func TestDiskBreakdownSumsToServiceSum(t *testing.T) {
+	w := smallWorkload(4000, 46)
+	for _, alg := range []Algorithm{NestedLoops, SortMerge, Grace} {
+		res := MustRun(alg, smallCfg(), smallParams(w, 64<<10))
+		ds := res.Disk
+		if sum := ds.SeekTime + ds.RotationTime + ds.TransferTime + ds.OverheadTime; sum != ds.ServiceSum {
+			t.Errorf("%v: components sum %v != ServiceSum %v", alg, sum, ds.ServiceSum)
+		}
+		if ds.Reads != res.DiskReads || ds.Writes != res.DiskWrites {
+			t.Errorf("%v: Disk stats %d/%d disagree with DiskReads/Writes %d/%d",
+				alg, ds.Reads, ds.Writes, res.DiskReads, res.DiskWrites)
+		}
+		if ds.ServiceSum <= 0 {
+			t.Errorf("%v: no service time recorded", alg)
+		}
+	}
+}
+
+func TestReserveClampedSurfacesScarcity(t *testing.T) {
+	w := smallWorkload(6000, 47)
+	// One page of memory: hash-table reservations cannot be met.
+	tiny := MustRun(Grace, smallCfg(), smallParams(w, 4096))
+	if tiny.ReserveClamped == 0 {
+		t.Error("one-page run should report clamped reservations")
+	}
+	// The clamped run must still produce the correct join.
+	if sig, pairs := w.JoinSignature(); tiny.Signature != sig || tiny.Pairs != pairs {
+		t.Error("clamped run computed a wrong join")
+	}
+	ample := MustRun(Grace, smallCfg(), smallParams(w, 4<<20))
+	if ample.ReserveClamped != 0 {
+		t.Errorf("ample-memory run reports %d clamped reservations", ample.ReserveClamped)
 	}
 }
 

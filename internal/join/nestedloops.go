@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"mmjoin/internal/sim"
-	"mmjoin/internal/vm"
 )
 
 // runNestedLoops executes the parallel pointer-based nested loops join
@@ -23,7 +22,7 @@ func (r *runner) runNestedLoops() {
 	for i := 0; i < r.d; i++ {
 		i := i
 		r.m.K.Spawn(fmt.Sprintf("Rproc%d", i), func(p *sim.Proc) {
-			pg := vm.NewWithPolicy(fmt.Sprintf("Rproc%d", i), frames(r.prm.MRproc, r.b), r.prm.Policy)
+			pg := r.newPager(fmt.Sprintf("Rproc%d", i), r.prm.MRproc)
 			mgr := r.m.Mgr[i]
 
 			// Setup: map Ri and Si, create the temporary RPi after them

@@ -31,7 +31,7 @@ func (r *runner) runSortMerge() {
 	for i := 0; i < r.d; i++ {
 		i := i
 		r.m.K.Spawn(fmt.Sprintf("Rproc%d", i), func(p *sim.Proc) {
-			pg := vm.NewWithPolicy(fmt.Sprintf("Rproc%d", i), frames(r.prm.MRproc, r.b), r.prm.Policy)
+			pg := r.newPager(fmt.Sprintf("Rproc%d", i), r.prm.MRproc)
 			mgr := r.m.Mgr[i]
 
 			// Setup: Ri, Si, then RSi, RPi, Mergei in creation order —
@@ -131,7 +131,7 @@ func (r *runner) runSortMerge() {
 					end = n
 				}
 				runs = append(runs, start)
-				pg.Reserve(p, heapFrames)
+				granted := r.reserve(p, pg, heapFrames)
 				pg.Touch(p, rsSeg[i], int64(start)*r.r, int64(end-start)*r.r, false)
 				seq := rsObjs[i][start:end]
 				handles := make([]int32, end-start)
@@ -147,7 +147,7 @@ func (r *runner) runSortMerge() {
 				p.Advance(r.heapTime(costs) + r.m.Cfg.TransferPP(int64(end-start)*r.r))
 				applyPermutation(seq, handles)
 				pg.Touch(p, rsSeg[i], int64(start)*r.r, int64(end-start)*r.r, true)
-				pg.Unreserve(heapFrames)
+				pg.Unreserve(granted)
 			}
 			if n == 0 {
 				runs = nil

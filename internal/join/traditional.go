@@ -5,7 +5,6 @@ import (
 
 	"mmjoin/internal/relation"
 	"mmjoin/internal/sim"
-	"mmjoin/internal/vm"
 )
 
 // runTraditionalGrace executes a conventional (value-based) parallel
@@ -125,7 +124,7 @@ func (r *runner) runTraditionalGrace() {
 	for i := 0; i < r.d; i++ {
 		i := i
 		r.m.K.Spawn(fmt.Sprintf("Rproc%d", i), func(p *sim.Proc) {
-			pg := vm.NewWithPolicy(fmt.Sprintf("Rproc%d", i), frames(r.prm.MRproc, r.b), r.prm.Policy)
+			pg := r.newPager(fmt.Sprintf("Rproc%d", i), r.prm.MRproc)
 			mgr := r.m.Mgr[i]
 
 			mgr.OpenMap(p, r.segR[i])
@@ -238,8 +237,7 @@ func (r *runner) runTraditionalGrace() {
 				sObjs := sBuck[i][b]
 				table := make(map[uint64]int, len(sObjs))
 				overhead := int64(len(sObjs)) * (r.s + int64(r.m.Cfg.HeapPtrBytes))
-				reserve := int((overhead + r.b - 1) / r.b)
-				pg.Reserve(p, reserve)
+				reserve := r.reserve(p, pg, int((overhead+r.b-1)/r.b))
 				for n, so := range sObjs {
 					off := (sStart[i][b] + int64(n)) * r.s
 					pg.Touch(p, shSeg[i].s, off, r.s, false)

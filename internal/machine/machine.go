@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"mmjoin/internal/disk"
+	"mmjoin/internal/metrics"
 	"mmjoin/internal/seg"
 	"mmjoin/internal/sim"
 )
@@ -89,6 +90,8 @@ type Machine struct {
 	Sys  *seg.System
 	Disk []*disk.Disk
 	Mgr  []*seg.Manager
+
+	sampler *metrics.Sampler
 }
 
 // New builds a machine from the configuration.
@@ -117,8 +120,34 @@ func MustNew(cfg Config) *Machine {
 	return m
 }
 
-// Shutdown drains all pageout queues and stops the daemons. It must be
-// called from a simulated process once all work is complete.
+// StartMetrics attaches a telemetry registry to the machine: every drive
+// is instrumented, a dynamic per-process busy/blocked gauge group is
+// registered, and a virtual-time sampler process is spawned with the
+// given tick (0 selects metrics.DefaultTick). Shutdown stops the
+// sampler. A nil registry is a no-op.
+func (m *Machine) StartMetrics(reg *metrics.Registry, tick sim.Time) {
+	if reg == nil {
+		return
+	}
+	for _, d := range m.Disk {
+		d.Instrument(reg)
+	}
+	k := m.K
+	reg.Dynamic(func(emit func(string, float64)) {
+		for _, p := range k.Procs() {
+			if p.Name() == "metrics.sampler" {
+				continue
+			}
+			emit("proc."+p.Name()+".busy_s", p.Busy.Seconds())
+			emit("proc."+p.Name()+".blocked_s", p.Blocked.Seconds())
+		}
+	})
+	m.sampler = reg.StartSampler(m.K, tick)
+}
+
+// Shutdown drains all pageout queues and stops the daemons, including
+// the metrics sampler if one is attached. It must be called from a
+// simulated process once all work is complete.
 func (m *Machine) Shutdown(p *sim.Proc) {
 	for _, d := range m.Disk {
 		d.Drain(p)
@@ -126,6 +155,7 @@ func (m *Machine) Shutdown(p *sim.Proc) {
 	for _, d := range m.Disk {
 		d.Close()
 	}
+	m.sampler.Stop()
 }
 
 // DiskStats sums the drives' counters.
@@ -136,6 +166,9 @@ func (m *Machine) DiskStats() disk.Stats {
 		total.Reads += s.Reads
 		total.Writes += s.Writes
 		total.SeekTime += s.SeekTime
+		total.RotationTime += s.RotationTime
+		total.TransferTime += s.TransferTime
+		total.OverheadTime += s.OverheadTime
 		total.ServiceSum += s.ServiceSum
 		total.Stalls += s.Stalls
 	}

@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Schema identifies the JSONL telemetry format; bump on breaking change.
+const Schema = "mmjoin-metrics/1"
+
+// jsonMeta is the first JSONL line, describing what follows.
+type jsonMeta struct {
+	Type     string `json:"type"` // "meta"
+	Schema   string `json:"schema"`
+	Samples  int    `json:"samples"`
+	Events   int    `json:"events"`
+	Counters int    `json:"counters"`
+	Hists    int    `json:"hists"`
+}
+
+// jsonSample is one sampler tick. Gauges marshal with sorted keys
+// (encoding/json orders map keys), so the output is deterministic.
+type jsonSample struct {
+	Type   string             `json:"type"` // "sample"
+	TMs    float64            `json:"t_ms"`
+	Gauges map[string]float64 `json:"gauges"`
+}
+
+// jsonEvent is one phase mark.
+type jsonEvent struct {
+	Type  string  `json:"type"` // "event"
+	TMs   float64 `json:"t_ms"`
+	Proc  string  `json:"proc"`
+	Label string  `json:"label"`
+}
+
+// jsonCounter is one counter's final value.
+type jsonCounter struct {
+	Type  string `json:"type"` // "counter"
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// jsonHist is one histogram's summary.
+type jsonHist struct {
+	Type   string  `json:"type"` // "hist"
+	Name   string  `json:"name"`
+	Count  int64   `json:"count"`
+	MinMs  float64 `json:"min_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// WriteJSONL writes the full telemetry — meta line, gauge time series,
+// phase events, final counters, histogram summaries — one JSON object
+// per line. Output is deterministic for a deterministic run.
+func (r *Registry) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(jsonMeta{
+		Type: "meta", Schema: Schema,
+		Samples: len(r.samples), Events: len(r.events),
+		Counters: len(r.counters), Hists: len(r.hists),
+	}); err != nil {
+		return err
+	}
+	for _, s := range r.samples {
+		if err := enc.Encode(jsonSample{Type: "sample", TMs: s.At.Milliseconds(), Gauges: s.Values}); err != nil {
+			return err
+		}
+	}
+	for _, e := range r.events {
+		if err := enc.Encode(jsonEvent{Type: "event", TMs: e.At.Milliseconds(), Proc: e.Proc, Label: e.Label}); err != nil {
+			return err
+		}
+	}
+	for _, c := range r.counters {
+		if err := enc.Encode(jsonCounter{Type: "counter", Name: c.name, Value: c.n}); err != nil {
+			return err
+		}
+	}
+	for _, h := range r.hists {
+		if err := enc.Encode(jsonHist{
+			Type: "hist", Name: h.name, Count: h.count,
+			MinMs:  h.Min().Milliseconds(),
+			MeanMs: h.Mean().Milliseconds(),
+			P50Ms:  h.Quantile(0.50).Milliseconds(),
+			P90Ms:  h.Quantile(0.90).Milliseconds(),
+			P99Ms:  h.Quantile(0.99).Milliseconds(),
+			MaxMs:  h.Max().Milliseconds(),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes the gauge time series as a wide table: a t_ms column
+// followed by every gauge name ever sampled, sorted; ticks missing a
+// gauge (registered later in the run) leave the cell empty. Events,
+// counters, and histograms are JSONL-only.
+func (r *Registry) WriteCSV(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	nameSet := map[string]struct{}{}
+	for _, s := range r.samples {
+		for name := range s.Values {
+			nameSet[name] = struct{}{}
+		}
+	}
+	names := make([]string, 0, len(nameSet))
+	for name := range nameSet {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var sb strings.Builder
+	sb.WriteString("t_ms")
+	for _, name := range names {
+		sb.WriteByte(',')
+		sb.WriteString(csvQuote(name))
+	}
+	sb.WriteByte('\n')
+	if _, err := io.WriteString(w, sb.String()); err != nil {
+		return err
+	}
+	for _, s := range r.samples {
+		sb.Reset()
+		sb.WriteString(strconv.FormatFloat(s.At.Milliseconds(), 'g', -1, 64))
+		for _, name := range names {
+			sb.WriteByte(',')
+			if v, ok := s.Values[name]; ok {
+				sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			}
+		}
+		sb.WriteByte('\n')
+		if _, err := io.WriteString(w, sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvQuote quotes a field if it contains a comma or quote.
+func csvQuote(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return fmt.Sprintf("%q", s)
+}

@@ -1,0 +1,145 @@
+package metrics_test
+
+import (
+	"bytes"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mmjoin/internal/disk"
+	"mmjoin/internal/metrics"
+	"mmjoin/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildFixture runs a small deterministic workload — one instrumented
+// drive, a sampler, random reads and scheduled writes from a fixed seed —
+// and returns the populated registry.
+func buildFixture() *metrics.Registry {
+	cfg := disk.DefaultConfig()
+	cfg.Blocks = 20000
+	k := sim.NewKernel()
+	reg := metrics.New()
+	d := disk.MustNew(k, "disk0", cfg)
+	d.Instrument(reg)
+	s := reg.StartSampler(k, 50*sim.Millisecond)
+	rng := rand.New(rand.NewSource(7))
+	k.Spawn("worker", func(p *sim.Proc) {
+		reg.Event(p.Now(), p.Name(), "begin")
+		for i := 0; i < 40; i++ {
+			d.Read(p, rng.Intn(cfg.Blocks))
+			if i%2 == 0 {
+				d.ScheduleWrite(p, rng.Intn(cfg.Blocks))
+			}
+		}
+		d.Drain(p)
+		reg.Event(p.Now(), p.Name(), "end")
+		d.Close()
+		s.Stop()
+	})
+	k.Run()
+	return reg
+}
+
+func TestWriteJSONLGolden(t *testing.T) {
+	reg := buildFixture()
+	var buf bytes.Buffer
+	if err := reg.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "export.jsonl.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("JSONL export drifted from golden %s\ngot:\n%s", golden, buf.String())
+	}
+}
+
+func TestWriteJSONLShape(t *testing.T) {
+	reg := buildFixture()
+	var buf bytes.Buffer
+	if err := reg.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[0], `"type":"meta"`) ||
+		!strings.Contains(lines[0], `"schema":"mmjoin-metrics/1"`) {
+		t.Errorf("first line is not the meta record: %s", lines[0])
+	}
+	for _, must := range []string{
+		"disk0.dirty_queue", "disk0.arm_util", // sampled gauges
+		`"type":"event"`, `"label":"begin"`, `"label":"end"`,
+		`"type":"counter"`, "disk0.stalls",
+		`"type":"hist"`, "disk0.read.service.far",
+	} {
+		if !strings.Contains(out, must) {
+			t.Errorf("JSONL output missing %q", must)
+		}
+	}
+}
+
+func TestWriteJSONLDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := buildFixture().WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildFixture().WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two identical runs exported different JSONL")
+	}
+}
+
+func TestWriteCSVShape(t *testing.T) {
+	reg := buildFixture()
+	var buf bytes.Buffer
+	if err := reg.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("CSV has %d lines", len(lines))
+	}
+	header := strings.Split(lines[0], ",")
+	if header[0] != "t_ms" {
+		t.Errorf("first column %q, want t_ms", header[0])
+	}
+	for i := 2; i < len(header); i++ {
+		if header[i] < header[i-1] {
+			t.Errorf("header not sorted at %q < %q", header[i], header[i-1])
+		}
+	}
+	// Every row has the full column count.
+	for i, line := range lines[1:] {
+		if got := strings.Count(line, ","); got != len(header)-1 {
+			t.Errorf("row %d has %d commas, want %d", i, got, len(header)-1)
+		}
+	}
+}
+
+func TestNilRegistryExports(t *testing.T) {
+	var r *metrics.Registry
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil || buf.Len() != 0 {
+		t.Error("nil registry JSONL should write nothing")
+	}
+	if err := r.WriteCSV(&buf); err != nil || buf.Len() != 0 {
+		t.Error("nil registry CSV should write nothing")
+	}
+}

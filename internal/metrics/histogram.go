@@ -1,0 +1,146 @@
+package metrics
+
+import "mmjoin/internal/sim"
+
+// histBuckets is the number of geometric buckets: bucket 0 holds values
+// below 2µs and bucket i (i ≥ 1) holds [2^i, 2^(i+1)) µs, so the range
+// spans sub-microsecond noise up to ~9 minutes of virtual time — wide
+// enough for any single disk service or phase duration.
+const histBuckets = 30
+
+// Histogram accumulates sim-time observations in geometric buckets and
+// answers approximate quantiles. A nil *Histogram is a valid no-op sink.
+type Histogram struct {
+	name     string
+	count    int64
+	sum      sim.Time
+	min, max sim.Time
+	buckets  [histBuckets]int64
+}
+
+// bucketOf maps an observation to its bucket index.
+func bucketOf(v sim.Time) int {
+	us := int64(v) / int64(sim.Microsecond)
+	b := 0
+	for us >= 2 && b < histBuckets-1 {
+		us >>= 1
+		b++
+	}
+	return b
+}
+
+// bucketLow returns the inclusive lower bound of bucket b.
+func bucketLow(b int) sim.Time {
+	if b == 0 {
+		return 0
+	}
+	return sim.Time(int64(1)<<uint(b)) * sim.Microsecond
+}
+
+// bucketHigh returns the exclusive upper bound of bucket b.
+func bucketHigh(b int) sim.Time {
+	return sim.Time(int64(1)<<uint(b+1)) * sim.Microsecond
+}
+
+// Observe records one value; nil histograms ignore it.
+func (h *Histogram) Observe(v sim.Time) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketOf(v)]++
+}
+
+// Name returns the registered name ("" for nil).
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() sim.Time {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() sim.Time {
+	if h == nil {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() sim.Time {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() sim.Time {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.sum / sim.Time(h.count)
+}
+
+// Quantile returns an estimate of the q-quantile (q in [0,1]) by linear
+// interpolation within the containing bucket, clamped to [Min, Max].
+func (h *Histogram) Quantile(q float64) sim.Time {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := q * float64(h.count)
+	var cum float64
+	for b := 0; b < histBuckets; b++ {
+		n := float64(h.buckets[b])
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lo, hi := bucketLow(b), bucketHigh(b)
+			frac := (rank - cum) / n
+			v := lo + sim.Time(frac*float64(hi-lo))
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+		cum += n
+	}
+	return h.max
+}

@@ -1,0 +1,205 @@
+package metrics
+
+import (
+	"testing"
+
+	"mmjoin/internal/sim"
+)
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 || c.Name() != "" {
+		t.Error("nil counter should stay zero")
+	}
+	h := r.Histogram("y")
+	h.Observe(sim.Second)
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil histogram should stay empty")
+	}
+	r.Gauge("g", func() float64 { return 1 })
+	r.Dynamic(func(emit func(string, float64)) { emit("d", 2) })
+	r.Event(0, "p", "l")
+	r.Sample(0)
+	if r.Samples() != nil || r.Events() != nil || r.Counters() != nil || r.Histograms() != nil {
+		t.Error("nil registry should report nothing")
+	}
+	var s *Sampler
+	s.Stop() // must not panic
+}
+
+func TestCounter(t *testing.T) {
+	r := New()
+	c := r.Counter("disk.stalls")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("Value = %d, want 5", c.Value())
+	}
+	if c.Name() != "disk.stalls" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	if len(r.Counters()) != 1 {
+		t.Errorf("Counters len = %d", len(r.Counters()))
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	r := New()
+	h := r.Histogram("svc")
+	obs := []sim.Time{
+		3 * sim.Millisecond,
+		5 * sim.Millisecond,
+		8 * sim.Millisecond,
+		20 * sim.Millisecond,
+	}
+	for _, v := range obs {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Min() != 3*sim.Millisecond || h.Max() != 20*sim.Millisecond {
+		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	if want := 9 * sim.Millisecond; h.Mean() != want {
+		t.Errorf("Mean = %v, want %v", h.Mean(), want)
+	}
+	if h.Sum() != 36*sim.Millisecond {
+		t.Errorf("Sum = %v", h.Sum())
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	h := New().Histogram("q")
+	for i := 1; i <= 100; i++ {
+		h.Observe(sim.Time(i) * sim.Millisecond)
+	}
+	if h.Quantile(0) != h.Min() {
+		t.Errorf("q0 = %v, want min %v", h.Quantile(0), h.Min())
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Errorf("q1 = %v, want max %v", h.Quantile(1), h.Max())
+	}
+	// Quantiles must be monotone and inside [min, max].
+	prev := sim.Time(0)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		v := h.Quantile(q)
+		if v < h.Min() || v > h.Max() {
+			t.Errorf("Quantile(%v) = %v outside [%v, %v]", q, v, h.Min(), h.Max())
+		}
+		if v < prev {
+			t.Errorf("Quantile(%v) = %v below previous %v", q, v, prev)
+		}
+		prev = v
+	}
+	// The median of 1..100 ms must land in the right bucket region:
+	// [32ms, 64ms) contains ranks 33..63, and rank 50 is inside it.
+	med := h.Quantile(0.5)
+	if med < 32*sim.Millisecond || med >= 64*sim.Millisecond {
+		t.Errorf("median %v outside the containing bucket [32ms, 64ms)", med)
+	}
+}
+
+func TestHistogramSingleValueQuantiles(t *testing.T) {
+	h := New().Histogram("one")
+	h.Observe(7 * sim.Millisecond)
+	for _, q := range []float64{0, 0.5, 0.9, 1} {
+		if v := h.Quantile(q); v != 7*sim.Millisecond {
+			t.Errorf("Quantile(%v) = %v, want 7ms (clamped to min=max)", q, v)
+		}
+	}
+}
+
+func TestHistogramNegativeClampsToZero(t *testing.T) {
+	h := New().Histogram("neg")
+	h.Observe(-sim.Second)
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Errorf("negative observation not clamped: min=%v max=%v n=%d",
+			h.Min(), h.Max(), h.Count())
+	}
+}
+
+func TestSampleCapturesGaugesAndDynamics(t *testing.T) {
+	r := New()
+	v := 1.0
+	r.Gauge("static", func() float64 { return v })
+	r.Dynamic(func(emit func(string, float64)) {
+		emit("dyn.a", v*10)
+		emit("dyn.b", v*100)
+	})
+	r.Sample(0)
+	v = 2
+	r.Sample(sim.Second)
+	ss := r.Samples()
+	if len(ss) != 2 {
+		t.Fatalf("samples = %d", len(ss))
+	}
+	if ss[0].Values["static"] != 1 || ss[1].Values["static"] != 2 {
+		t.Errorf("static gauge wrong: %v", ss)
+	}
+	if ss[1].Values["dyn.a"] != 20 || ss[1].Values["dyn.b"] != 200 {
+		t.Errorf("dynamic gauges wrong: %v", ss[1].Values)
+	}
+	if ss[1].At != sim.Second {
+		t.Errorf("At = %v", ss[1].At)
+	}
+}
+
+func TestSamplerTicksAndStops(t *testing.T) {
+	k := sim.NewKernel()
+	r := New()
+	busy := 0.0
+	r.Gauge("busy", func() float64 { return busy })
+	s := r.StartSampler(k, 100*sim.Millisecond)
+	k.Spawn("worker", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			busy = float64(i)
+			p.Advance(100 * sim.Millisecond)
+		}
+		s.Stop()
+	})
+	end := k.Run()
+	// Run must terminate (the sampler honors Stop) shortly after the
+	// worker's last advance — within one tick.
+	if end > 1100*sim.Millisecond {
+		t.Errorf("kernel ran to %v; sampler did not stop", end)
+	}
+	n := len(r.Samples())
+	if n < 10 || n > 12 {
+		t.Errorf("samples = %d, want ~11 over 1s at 100ms", n)
+	}
+	// Ticks must be evenly spaced.
+	for i, smp := range r.Samples() {
+		if want := sim.Time(i) * 100 * sim.Millisecond; smp.At != want {
+			t.Errorf("sample %d at %v, want %v", i, smp.At, want)
+		}
+	}
+}
+
+func TestSamplerDefaultTick(t *testing.T) {
+	k := sim.NewKernel()
+	r := New()
+	s := r.StartSampler(k, 0) // 0 selects DefaultTick
+	k.Spawn("w", func(p *sim.Proc) {
+		p.Advance(DefaultTick * 3)
+		s.Stop()
+	})
+	k.Run()
+	if n := len(r.Samples()); n < 3 {
+		t.Errorf("samples = %d, want >= 3 with the default tick", n)
+	}
+}
+
+func TestStartSamplerNilSafe(t *testing.T) {
+	var r *Registry
+	if s := r.StartSampler(sim.NewKernel(), 0); s != nil {
+		t.Error("nil registry should return a nil sampler")
+	}
+	r2 := New()
+	if s := r2.StartSampler(nil, 0); s != nil {
+		t.Error("nil kernel should return a nil sampler")
+	}
+}

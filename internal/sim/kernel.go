@@ -187,6 +187,11 @@ type Proc struct {
 
 	// Busy is total virtual time this process spent in Advance.
 	Busy Time
+	// Blocked is total virtual time this process spent in Block —
+	// waiting on resource queues, conditions, channels, or barriers.
+	// Together with Busy it splits a process's life into working,
+	// waiting, and (the remainder) ready-but-not-dispatched.
+	Blocked Time
 }
 
 // Name returns the process name given at Spawn.
@@ -224,7 +229,9 @@ func (p *Proc) Advance(d Time) {
 func (p *Proc) Block(reason string) {
 	p.state = procBlocked
 	p.blockReason = reason
+	start := p.k.now
 	p.yield()
+	p.Blocked += p.k.now - start
 }
 
 // Unblock makes a blocked process runnable at the current virtual time.

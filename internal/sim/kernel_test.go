@@ -139,6 +139,50 @@ func TestBusyAccounting(t *testing.T) {
 	}
 }
 
+func TestBlockedAccounting(t *testing.T) {
+	k := NewKernel()
+	var target *Proc
+	target = k.Spawn("sleeper", func(p *Proc) {
+		p.Advance(Millisecond)
+		p.Block("waiting")
+		p.Advance(Millisecond)
+	})
+	k.Spawn("waker", func(p *Proc) {
+		p.Advance(5 * Millisecond)
+		target.Unblock()
+	})
+	k.Run()
+	// Blocked from t=1ms until the wake at t=5ms.
+	if target.Blocked != 4*Millisecond {
+		t.Errorf("Blocked = %v, want 4ms", target.Blocked)
+	}
+	if target.Busy != 2*Millisecond {
+		t.Errorf("Busy = %v, want 2ms", target.Busy)
+	}
+}
+
+func TestResourceBusyAt(t *testing.T) {
+	k := NewKernel()
+	r := NewResource("arm")
+	k.Spawn("holder", func(p *Proc) {
+		r.Use(p, 4*Millisecond)
+		r.Acquire(p)
+		p.Advance(2 * Millisecond)
+		// Mid-hold: BusyAt must include the in-progress hold.
+		if got := r.BusyAt(p.Now()); got != 6*Millisecond {
+			t.Errorf("BusyAt mid-hold = %v, want 6ms", got)
+		}
+		r.Release(p)
+	})
+	k.Run()
+	if r.BusyTime != 6*Millisecond {
+		t.Errorf("BusyTime = %v, want 6ms", r.BusyTime)
+	}
+	if got := r.BusyAt(k.Now()); got != 6*Millisecond {
+		t.Errorf("BusyAt idle = %v, want BusyTime", got)
+	}
+}
+
 func TestNegativeAdvancePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

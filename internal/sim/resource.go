@@ -68,6 +68,16 @@ func (r *Resource) Release(p *Proc) {
 	next.Unblock()
 }
 
+// BusyAt reports cumulative held time as of now, including the current
+// holder's in-progress hold — the utilization numerator for samplers
+// that tick mid-hold.
+func (r *Resource) BusyAt(now Time) Time {
+	if r.holder != nil {
+		return r.BusyTime + now - r.acquiredAt
+	}
+	return r.BusyTime
+}
+
 // Use acquires the resource, advances p by service, and releases it.
 func (r *Resource) Use(p *Proc, service Time) {
 	r.Acquire(p)

@@ -95,7 +95,7 @@ func (l *Log) Render(w io.Writer, width int) error {
 		prev := 0
 		for idx, ev := range byProc[name] {
 			col := int(int64(ev.At) * int64(width-1) / int64(end))
-			mark := byte('a' + idx%26)
+			mark := markFor(idx)
 			for c := prev; c <= col && c < width; c++ {
 				row[c] = mark
 			}
@@ -111,11 +111,38 @@ func (l *Log) Render(w io.Writer, width int) error {
 	}
 	for _, name := range order {
 		for idx, ev := range byProc[name] {
+			if idx >= maxMarks {
+				// Out of distinct marks: say so instead of silently
+				// reusing a letter for two different phases.
+				if _, err := fmt.Fprintf(w, "%-*s  *: (+%d more segments)\n",
+					nameWidth, name, len(byProc[name])-maxMarks); err != nil {
+					return err
+				}
+				break
+			}
 			if _, err := fmt.Fprintf(w, "%-*s  %c: %-10s ends %v\n",
-				nameWidth, name, 'a'+idx%26, ev.Label, ev.At); err != nil {
+				nameWidth, name, markFor(idx), ev.Label, ev.At); err != nil {
 				return err
 			}
 		}
 	}
 	return nil
+}
+
+// maxMarks is the number of distinct segment marks: a–z, A–Z, 0–9.
+const maxMarks = 62
+
+// markFor returns the unique mark for segment idx, or '*' once the
+// alphabet is exhausted (the legend then prints an explicit overflow
+// line rather than colliding two phases on one letter).
+func markFor(idx int) byte {
+	switch {
+	case idx < 26:
+		return byte('a' + idx)
+	case idx < 52:
+		return byte('A' + idx - 26)
+	case idx < maxMarks:
+		return byte('0' + idx - 52)
+	}
+	return '*'
 }

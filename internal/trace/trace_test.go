@@ -64,6 +64,70 @@ func TestRenderRowsAndLegend(t *testing.T) {
 	}
 }
 
+func TestMarkForUnique(t *testing.T) {
+	seen := map[byte]bool{}
+	for idx := 0; idx < maxMarks; idx++ {
+		m := markFor(idx)
+		if seen[m] {
+			t.Fatalf("mark %q reused at segment %d", m, idx)
+		}
+		seen[m] = true
+	}
+	if markFor(0) != 'a' || markFor(25) != 'z' {
+		t.Error("first marks should be lowercase letters")
+	}
+	if markFor(26) != 'A' || markFor(51) != 'Z' {
+		t.Error("marks 26-51 should be uppercase letters")
+	}
+	if markFor(52) != '0' || markFor(61) != '9' {
+		t.Error("marks 52-61 should be digits")
+	}
+	if markFor(maxMarks) != '*' || markFor(maxMarks+100) != '*' {
+		t.Error("overflow marks should be '*'")
+	}
+}
+
+func TestRenderManySegmentsNoCollision(t *testing.T) {
+	// Regression: beyond 26 segments the legend reused letters (idx%26),
+	// attributing one mark to two different phases. Marks now extend
+	// through A-Z and 0-9 and the legend lists each distinctly.
+	l := New()
+	for i := 0; i < 30; i++ {
+		l.Add(sim.Time(i+1)*sim.Second, "p", "seg")
+	}
+	var sb strings.Builder
+	if err := l.Render(&sb, 120); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Segment 26 must be marked 'A', not wrap to 'a'.
+	if !strings.Contains(out, "A: seg") {
+		t.Errorf("segment 26 not marked 'A':\n%s", out)
+	}
+	if strings.Count(out, "a: seg") != 1 {
+		t.Errorf("mark 'a' used for more than one legend entry:\n%s", out)
+	}
+}
+
+func TestRenderLegendOverflowCapped(t *testing.T) {
+	l := New()
+	for i := 0; i < 70; i++ {
+		l.Add(sim.Time(i+1)*sim.Second, "p", "seg")
+	}
+	var sb strings.Builder
+	if err := l.Render(&sb, 200); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "(+8 more segments)") {
+		t.Errorf("legend should cap 70 segments at 62 marks +8 overflow:\n%s", out)
+	}
+	// Exactly maxMarks legend entries plus the overflow line.
+	if got := strings.Count(out, ": seg"); got != maxMarks {
+		t.Errorf("legend lists %d distinct segments, want %d", got, maxMarks)
+	}
+}
+
 func TestRenderClampssWidth(t *testing.T) {
 	l := New()
 	l.Add(sim.Second, "p", "x")

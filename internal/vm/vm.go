@@ -14,6 +14,7 @@ import (
 	"container/list"
 	"fmt"
 
+	"mmjoin/internal/metrics"
 	"mmjoin/internal/seg"
 	"mmjoin/internal/sim"
 )
@@ -122,11 +123,43 @@ func (pg *Pager) Resident() int { return pg.lru.Len() }
 // Stats returns a snapshot of the counters.
 func (pg *Pager) Stats() Stats { return pg.stats }
 
+// Instrument registers the pager's observability on reg: resident-set
+// size, pinned frames, cumulative faults, fault/hit rates, and
+// clean-preference hits, all as sampled gauges. A nil registry is a
+// no-op, so pagers can be instrumented unconditionally.
+func (pg *Pager) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	n := "vm." + pg.name
+	reg.Gauge(n+".resident", func() float64 { return float64(pg.lru.Len()) })
+	reg.Gauge(n+".reserved", func() float64 { return float64(pg.reserved) })
+	reg.Gauge(n+".faults", func() float64 { return float64(pg.stats.Faults) })
+	reg.Gauge(n+".fault_rate", func() float64 {
+		if pg.stats.Touches == 0 {
+			return 0
+		}
+		return float64(pg.stats.Faults) / float64(pg.stats.Touches)
+	})
+	reg.Gauge(n+".hit_rate", func() float64 {
+		if pg.stats.Touches == 0 {
+			return 0
+		}
+		return float64(pg.stats.Hits) / float64(pg.stats.Touches)
+	})
+	reg.Gauge(n+".clean_pref_hits", func() float64 { return float64(pg.stats.CleanPrefHits) })
+}
+
 // Reserve pins n frames for memory-resident structures (a hash table, a
 // heap of pointers), shrinking the space available to mapped pages and
 // evicting immediately if necessary. It models the table overhead the
 // paper folds into its fuzz factor.
-func (pg *Pager) Reserve(p *sim.Proc, n int) {
+//
+// A request exceeding the quota is clamped so at least one frame remains
+// for mapped pages. Reserve returns the number of frames ACTUALLY
+// pinned; callers sizing memory-resident tables must check it (and pass
+// the same count to Unreserve) rather than assume the request was met.
+func (pg *Pager) Reserve(p *sim.Proc, n int) int {
 	if n < 0 {
 		panic("vm: negative Reserve")
 	}
@@ -141,6 +174,7 @@ func (pg *Pager) Reserve(p *sim.Proc, n int) {
 	for pg.lru.Len() > pg.avail() {
 		pg.evictOne(p)
 	}
+	return n
 }
 
 // Unreserve releases n pinned frames.

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"mmjoin/internal/disk"
+	"mmjoin/internal/metrics"
 	"mmjoin/internal/seg"
 	"mmjoin/internal/sim"
 )
@@ -225,6 +226,67 @@ func TestReserveNeverStarvesMappedPages(t *testing.T) {
 	})
 	if pg.Reserved() != 3 {
 		t.Errorf("Reserved = %d, want 3", pg.Reserved())
+	}
+}
+
+func TestReserveReturnsGrantedCount(t *testing.T) {
+	r := newRig()
+	pg := New("pg", 8)
+	r.run(func(p *sim.Proc) {
+		if got := pg.Reserve(p, 5); got != 5 {
+			t.Errorf("Reserve(5) granted %d, want 5", got)
+		}
+		// 5 already pinned, quota 8: a request for 10 clamps to 2 so one
+		// frame stays available for mapped pages.
+		if got := pg.Reserve(p, 10); got != 2 {
+			t.Errorf("Reserve(10) granted %d, want 2 (clamped)", got)
+		}
+		// Fully pinned-but-one: further requests grant nothing.
+		if got := pg.Reserve(p, 1); got != 0 {
+			t.Errorf("Reserve(1) granted %d, want 0", got)
+		}
+		if pg.Reserved() != 7 {
+			t.Errorf("Reserved = %d, want 7", pg.Reserved())
+		}
+		pg.Unreserve(7)
+		if pg.Reserved() != 0 {
+			t.Errorf("Reserved = %d after Unreserve", pg.Reserved())
+		}
+	})
+}
+
+func TestInstrumentGauges(t *testing.T) {
+	r := newRig()
+	reg := metrics.New()
+	pg := New("pg", 8)
+	pg.Instrument(reg)
+	r.run(func(p *sim.Proc) {
+		s := r.m.Preexisting("s", 20*pageBytes)
+		for pageIdx := 0; pageIdx < 12; pageIdx++ {
+			pg.TouchPage(p, s, pageIdx, false)
+		}
+		pg.TouchPage(p, s, 11, false) // one hit
+		pg.Reserve(p, 2)
+	})
+	reg.Sample(r.k.Now())
+	vals := reg.Samples()[0].Values
+	st := pg.Stats()
+	if vals["vm.pg.resident"] != float64(pg.Resident()) {
+		t.Errorf("resident gauge %v, pager %d", vals["vm.pg.resident"], pg.Resident())
+	}
+	if vals["vm.pg.reserved"] != 2 {
+		t.Errorf("reserved gauge %v", vals["vm.pg.reserved"])
+	}
+	if vals["vm.pg.faults"] != float64(st.Faults) {
+		t.Errorf("faults gauge %v, stats %d", vals["vm.pg.faults"], st.Faults)
+	}
+	wantFault := float64(st.Faults) / float64(st.Touches)
+	if vals["vm.pg.fault_rate"] != wantFault {
+		t.Errorf("fault_rate gauge %v, want %v", vals["vm.pg.fault_rate"], wantFault)
+	}
+	wantHit := float64(st.Hits) / float64(st.Touches)
+	if vals["vm.pg.hit_rate"] != wantHit {
+		t.Errorf("hit_rate gauge %v, want %v", vals["vm.pg.hit_rate"], wantHit)
 	}
 }
 
