@@ -23,6 +23,7 @@ import (
 	"mmjoin/internal/mstore"
 	"mmjoin/internal/relation"
 	"mmjoin/internal/seg"
+	"mmjoin/internal/sweep"
 	"mmjoin/internal/vm"
 )
 
@@ -90,7 +91,7 @@ func fig5(b *testing.B, alg join.Algorithm) {
 	var pts []core.Comparison
 	var err error
 	for i := 0; i < b.N; i++ {
-		pts, err = e.SweepMemory(alg, nil)
+		pts, err = sweep.Memory(e, alg, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -220,7 +221,7 @@ func BenchmarkExtSpeedup(b *testing.B) {
 	spec := benchSpec()
 	for i := 0; i < b.N; i++ {
 		for _, alg := range []join.Algorithm{join.NestedLoops, join.SortMerge, join.Grace} {
-			times, err := core.Speedup(cfg, spec, alg, []int{1, 8}, 0.05)
+			times, err := sweep.Speedup(cfg, spec, alg, []int{1, 8}, 0.05)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -9,7 +9,9 @@
 //	sweep -fig speedup     elapsed time vs D, fixed problem size (§9)
 //	sweep -fig scaleup     elapsed time vs D, problem grows with D (§9)
 //
-// Scale can be reduced for quick runs with -objects.
+// Scale can be reduced for quick runs with -objects. The sweep
+// procedures themselves live in internal/sweep; this command only
+// parses flags and prints tables.
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"mmjoin/internal/machine"
 	"mmjoin/internal/metrics"
 	"mmjoin/internal/relation"
+	"mmjoin/internal/sweep"
 )
 
 // metricsBase, when set, makes the Fig. 5 sweeps export one JSONL
@@ -91,25 +94,17 @@ func fig5(cfg machine.Config, spec relation.Spec, alg join.Algorithm) {
 		fatal(err)
 	}
 	fmt.Println("MRproc/|R|   experiment(s)    model(s)   error    detail")
-	var pts []core.Comparison
-	for _, f := range core.Fig5Fractions(alg) {
-		prm := e.ParamsForFraction(f)
-		var reg *metrics.Registry
-		if metricsBase != "" {
-			reg = metrics.New()
-			prm.Metrics = reg
+	var opts sweep.Fig5Options
+	if metricsBase != "" {
+		opts.Instrument = func(float64) *metrics.Registry { return metrics.New() }
+		opts.OnPoint = func(c core.Comparison, reg *metrics.Registry) error {
+			path := fmt.Sprintf("%s.%s.%.3f.jsonl", metricsBase, alg, c.MemFrac)
+			return exportJSONL(reg, path)
 		}
-		c, err := e.Compare(alg, prm)
-		if err != nil {
-			fatal(fmt.Errorf("sweep at %.3f: %w", f, err))
-		}
-		if reg != nil {
-			path := fmt.Sprintf("%s.%s.%.3f.jsonl", metricsBase, alg, f)
-			if err := exportJSONL(reg, path); err != nil {
-				fatal(err)
-			}
-		}
-		pts = append(pts, *c)
+	}
+	pts, err := sweep.Fig5(e, alg, opts)
+	if err != nil {
+		fatal(err)
 	}
 	for _, c := range pts {
 		detail := ""
@@ -130,30 +125,15 @@ func contention(cfg machine.Config, spec relation.Spec) {
 	if err != nil {
 		fatal(err)
 	}
-	frac := 0.10
-	variants := []struct {
-		name            string
-		stagger, synced bool
-	}{
-		{"staggered, unsynchronized (paper)", true, false},
-		{"staggered, synchronized", true, true},
-		{"naive order, unsynchronized", false, false},
+	pts, err := sweep.Contention(e, 0.10)
+	if err != nil {
+		fatal(err)
 	}
-	base := e.ParamsForFraction(frac)
-	var ref float64
-	for _, v := range variants {
-		prm := base
-		prm.Stagger = v.stagger
-		prm.SyncPhases = v.synced
-		res, err := e.Measure(join.NestedLoops, prm)
-		if err != nil {
-			fatal(err)
-		}
-		t := res.Elapsed.Seconds()
-		if ref == 0 {
-			ref = t
-		}
-		fmt.Printf("%-36s %10.1fs  (%+.2f%% vs paper variant)\n", v.name, t, 100*(t-ref)/ref)
+	ref := pts[0].Elapsed
+	for _, pt := range pts {
+		t := pt.Elapsed.Seconds()
+		fmt.Printf("%-36s %10.1fs  (%+.2f%% vs paper variant)\n",
+			pt.Name, t, 100*(t-ref.Seconds())/ref.Seconds())
 	}
 }
 
@@ -161,7 +141,7 @@ func speedup(cfg machine.Config, spec relation.Spec) {
 	fmt.Println("§9 extension: speedup — fixed problem, growing D (memory fraction 0.05)")
 	ds := []int{1, 2, 4, 8}
 	for _, alg := range []join.Algorithm{join.NestedLoops, join.SortMerge, join.Grace} {
-		times, err := core.Speedup(cfg, spec, alg, ds, 0.05)
+		times, err := sweep.Speedup(cfg, spec, alg, ds, 0.05)
 		if err != nil {
 			fatal(err)
 		}
@@ -179,7 +159,7 @@ func scaleup(cfg machine.Config, spec relation.Spec) {
 	fmt.Printf("§9 extension: scaleup — %d objects per partition, growing D\n", per)
 	ds := []int{1, 2, 4, 8}
 	for _, alg := range []join.Algorithm{join.NestedLoops, join.SortMerge, join.Grace} {
-		times, err := core.Scaleup(cfg, spec, alg, ds, per, 0.1)
+		times, err := sweep.Scaleup(cfg, spec, alg, ds, per, 0.1)
 		if err != nil {
 			fatal(err)
 		}
@@ -209,7 +189,7 @@ func fatal(err error) {
 func dist(cfg machine.Config, spec relation.Spec) {
 	fmt.Println("§9 extension: reference-distribution study (memory fraction 0.05)")
 	algs := []join.Algorithm{join.NestedLoops, join.SortMerge, join.Grace, join.HybridHash}
-	pts, err := core.DistSweep(cfg, spec, algs, 0.05)
+	pts, err := sweep.Dist(cfg, spec, algs, 0.05)
 	if err != nil {
 		fatal(err)
 	}

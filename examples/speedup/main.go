@@ -10,10 +10,10 @@ import (
 	"fmt"
 	"log"
 
-	"mmjoin/internal/core"
 	"mmjoin/internal/join"
 	"mmjoin/internal/machine"
 	"mmjoin/internal/relation"
+	"mmjoin/internal/sweep"
 )
 
 func main() {
@@ -25,7 +25,7 @@ func main() {
 	fmt.Printf("speedup: |R|=|S|=%d fixed, memory 0.05·|R| per process\n", spec.NR)
 	fmt.Printf("%-12s %10s %10s %10s %10s\n", "", "D=1", "D=2", "D=4", "D=8")
 	for _, alg := range []join.Algorithm{join.NestedLoops, join.SortMerge, join.Grace} {
-		times, err := core.Speedup(cfg, spec, alg, ds, 0.05)
+		times, err := sweep.Speedup(cfg, spec, alg, ds, 0.05)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -40,7 +40,7 @@ func main() {
 	fmt.Printf("\nscaleup: %d objects per partition, relation grows with D (memory 0.1·|R|)\n", per)
 	fmt.Printf("%-12s %10s %10s %10s %10s\n", "", "D=1", "D=2", "D=4", "D=8")
 	for _, alg := range []join.Algorithm{join.NestedLoops, join.SortMerge, join.Grace} {
-		times, err := core.Scaleup(cfg, spec, alg, ds, per, 0.1)
+		times, err := sweep.Scaleup(cfg, spec, alg, ds, per, 0.1)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,43 @@
+package mmjoin
+
+// Smoke test for the example programs: each ./examples/<name> is built
+// and executed with its defaults, checking it exits cleanly and prints
+// something. Skipped under -short (the slow tier) like the cmd smoke
+// tests.
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test")
+	}
+	examples, err := filepath.Glob("examples/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(examples) == 0 {
+		t.Fatal("no examples found")
+	}
+	for _, dir := range examples {
+		name := filepath.Base(dir)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(t.TempDir(), name)
+			out, err := exec.Command("go", "build", "-o", bin, "./"+dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+			out, err = exec.Command(bin).CombinedOutput()
+			if err != nil {
+				t.Fatalf("run: %v\n%s", err, out)
+			}
+			if len(out) == 0 {
+				t.Error("example produced no output")
+			}
+		})
+	}
+}

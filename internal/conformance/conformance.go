@@ -1,0 +1,108 @@
+// Package conformance asserts, as executable tests, the qualitative
+// claims this reproduction makes about the paper's results
+// (EXPERIMENTS.md): the Fig. 5 shapes, the simulator's conservation
+// laws, and bit-for-bit deterministic replay of a golden corpus.
+//
+// The suite has three layers:
+//
+//  1. Fig. 5 shape assertions (fig5_test.go): scaled-down re-runs of the
+//     Fig. 5(a)/(b)/(c) sweeps through internal/sweep, asserting the
+//     algorithm orderings at the memory extremes, monotone improvement
+//     with per-process memory, the sort-merge pass discontinuity, the
+//     Grace thrashing knee, and model-vs-simulation agreement within the
+//     documented relative-error bands below. Skipped under -short (they
+//     are the slow tier).
+//  2. Simulator invariants (invariants_test.go): property and
+//     metamorphic checks across randomized seeds and configurations —
+//     virtual-time determinism (same seed ⇒ identical Result),
+//     conservation laws (disk service components sum to ServiceSum,
+//     pager resident set bounded by its quota, join output identical to
+//     a reference in-memory join), observer neutrality of telemetry,
+//     and the no-lost-write law of the pageout daemon.
+//  3. Deterministic replay (replay_test.go): a corpus of small
+//     fixed-seed runs whose full Results are committed under testdata/;
+//     any behavioural drift in any layer shows up as a field-level diff
+//     against the golden snapshot. Regenerate with
+//     `go test ./internal/conformance -run Replay -update` after an
+//     intentional change, and review the diff like code.
+//
+// Absolute simulated times are NOT asserted anywhere except the golden
+// corpus (where they pin the whole machine): the suite holds the
+// reproduction to the paper's shape claims, which survive recalibration
+// of the simulated hardware, while the corpus pins exact behaviour of
+// the current configuration.
+package conformance
+
+import (
+	"fmt"
+
+	"mmjoin/internal/core"
+	"mmjoin/internal/machine"
+	"mmjoin/internal/relation"
+)
+
+// Scaled-down Fig. 5 configuration: a quarter of the paper's |R| = |S| =
+// 102,400 objects keeps every asserted shape (see EXPERIMENTS.md
+// "Conformance") while the three panels sweep in a few seconds.
+const (
+	Objects = 25600
+	Seed    = 1
+)
+
+// Relative-error bands for model-vs-simulation agreement at the scaled
+// conformance size. They are deliberately looser than the typical errors
+// observed (recorded in EXPERIMENTS.md) so the suite fails on structural
+// regressions, not on noise-level recalibration; they are tight enough
+// that losing a mechanism (the flusher's write reordering, the LRU
+// clean-page preference, the Mackert–Lohman term) trips them.
+const (
+	// NLStarvedBand bounds |relative error| for nested loops in the
+	// memory-starved regime (fractions ≤ NLStarvedMax), where the
+	// paper's own agreement claim lives. Beyond it MSproc exceeds |Si|
+	// and the model's divergence is documented as out of scope.
+	NLStarvedBand = 0.15
+	NLStarvedMax  = 0.20
+
+	// SMBand bounds |relative error| for sort-merge across its whole
+	// panel (typical: ≤ 11% at this scale).
+	SMBand = 0.25
+
+	// GracePlateauBand bounds |relative error| for Grace on the plateau
+	// (fractions ≥ GracePlateauMin); at the thrashing knee only the
+	// error's sign is asserted — the urn model underpredicts the
+	// measured thrash, with the same sign the paper reports.
+	GracePlateauBand = 0.15
+	GracePlateauMin  = 0.03
+
+	// GraceKneeFactor is the minimum ratio of the knee point's measured
+	// time to the plateau minimum — the thrashing rise of Fig. 5(c).
+	GraceKneeFactor = 3.0
+
+	// MonotoneSlack tolerates scheduling-level wobble when asserting
+	// that a panel improves monotonically with memory: a point may
+	// exceed its predecessor by at most this relative amount.
+	MonotoneSlack = 0.02
+)
+
+// Config returns the simulated machine used by the conformance sweeps:
+// the paper's default testbed.
+func Config() machine.Config { return machine.DefaultConfig() }
+
+// Spec returns the scaled workload specification used by the
+// conformance sweeps.
+func Spec() relation.Spec {
+	spec := relation.DefaultSpec()
+	spec.NR, spec.NS = Objects, Objects
+	spec.Seed = Seed
+	return spec
+}
+
+// NewExperiment builds the conformance experiment (workload generation
+// plus machine calibration).
+func NewExperiment() (*core.Experiment, error) {
+	e, err := core.NewExperiment(Config(), Spec())
+	if err != nil {
+		return nil, fmt.Errorf("conformance: %w", err)
+	}
+	return e, nil
+}

@@ -1,0 +1,121 @@
+package conformance
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "regenerate the golden replay corpus under testdata/replay")
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "replay", name+".json")
+}
+
+// TestReplayCorpus re-executes every corpus entry and compares the full
+// Result — every virtual-time counter, I/O total, and parameter choice —
+// against its committed snapshot. Any behavioural drift anywhere in the
+// stack (workload generator, kernel scheduling, disk model, pager,
+// segment manager, algorithm) shows up as a field-level diff here.
+// After an intentional change, regenerate with
+//
+//	go test ./internal/conformance -run Replay -update
+//
+// and review the snapshot diff like code.
+func TestReplayCorpus(t *testing.T) {
+	for _, entry := range Corpus() {
+		entry := entry
+		t.Run(entry.Name, func(t *testing.T) {
+			res, w, err := entry.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.CheckInvariants(w); err != nil {
+				t.Fatalf("invariants: %v", err)
+			}
+			got, err := SnapshotOf(entry, res).Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := goldenPath(entry.Name)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden snapshot (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("result drifted from golden snapshot %s\n%s", path, snapshotDiff(t, want, got))
+			}
+		})
+	}
+}
+
+// snapshotDiff renders a compact field-level diff between two snapshot
+// encodings so a drift report names the counters that moved rather than
+// dumping both files.
+func snapshotDiff(t *testing.T, want, got []byte) string {
+	t.Helper()
+	var a, b map[string]any
+	if json.Unmarshal(want, &a) != nil || json.Unmarshal(got, &b) != nil {
+		return "(snapshot not parseable; re-run with -update and diff manually)"
+	}
+	var buf bytes.Buffer
+	diffValue(&buf, "", a, b)
+	if buf.Len() == 0 {
+		return "(encodings differ only in formatting)"
+	}
+	return buf.String()
+}
+
+func diffValue(buf *bytes.Buffer, path string, want, got any) {
+	switch w := want.(type) {
+	case map[string]any:
+		g, ok := got.(map[string]any)
+		if !ok {
+			buf.WriteString(path + ": shape changed\n")
+			return
+		}
+		keys := make(map[string]bool, len(w)+len(g))
+		for k := range w {
+			keys[k] = true
+		}
+		for k := range g {
+			keys[k] = true
+		}
+		for k := range keys {
+			diffValue(buf, path+"/"+k, w[k], g[k])
+		}
+	case []any:
+		g, ok := got.([]any)
+		if !ok || len(w) != len(g) {
+			buf.WriteString(path + ": list shape changed\n")
+			return
+		}
+		for i := range w {
+			diffValue(buf, path, w[i], g[i])
+		}
+	default:
+		if want != got {
+			buf.WriteString(path + ": " + encode(want) + " -> " + encode(got) + "\n")
+		}
+	}
+}
+
+func encode(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "?"
+	}
+	return string(b)
+}

@@ -3,7 +3,9 @@
 // pointer-based join algorithms on the simulated memory-mapped machine,
 // evaluates the analytical model for the same configuration, and compares
 // the two — the paper's model-validation methodology (§8) as a reusable
-// component, including the memory sweeps behind Fig. 5.
+// component. The sweep procedures built on it (the Fig. 5 panels, the
+// contention ablation, speedup/scaleup, the distribution study) live in
+// internal/sweep.
 package core
 
 import (
@@ -156,138 +158,6 @@ func (e *Experiment) Compare(alg join.Algorithm, prm join.Params) (*Comparison, 
 	}, nil
 }
 
-// Fig5Fractions returns the memory fractions of the paper's Fig. 5 panel
-// for the given algorithm.
-func Fig5Fractions(alg join.Algorithm) []float64 {
-	switch alg {
-	case join.NestedLoops:
-		return []float64{0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50, 0.55, 0.60, 0.65, 0.70}
-	case join.SortMerge:
-		return []float64{0.010, 0.015, 0.020, 0.025, 0.030, 0.035, 0.040, 0.045, 0.050}
-	case join.HybridHash:
-		return []float64{0.008, 0.010, 0.015, 0.020, 0.030, 0.040, 0.050, 0.060, 0.070, 0.080}
-	case join.Grace:
-		// The paper's panel spans 0.02–0.08; lower fractions are
-		// included because this machine's LRU pager thrashes later than
-		// Dynix's simple replacement did, so the knee of Fig. 5(c)
-		// appears below 0.02 here.
-		return []float64{0.008, 0.010, 0.015, 0.020, 0.030, 0.040, 0.050, 0.060, 0.070, 0.080}
-	}
-	return nil
-}
-
-// SweepMemory runs Compare across the given memory fractions (Fig. 5's
-// procedure). A nil fracs selects the paper's panel for the algorithm.
-func (e *Experiment) SweepMemory(alg join.Algorithm, fracs []float64) ([]Comparison, error) {
-	if fracs == nil {
-		fracs = Fig5Fractions(alg)
-	}
-	out := make([]Comparison, 0, len(fracs))
-	for _, f := range fracs {
-		cmp, err := e.Compare(alg, e.ParamsForFraction(f))
-		if err != nil {
-			return nil, fmt.Errorf("core: sweep at %.3f: %w", f, err)
-		}
-		out = append(out, *cmp)
-	}
-	return out, nil
-}
-
-// Speedup runs the algorithm at several degrees of parallelism D with the
-// problem size fixed, returning elapsed times keyed by D — the paper's
-// planned speedup experiment (§9).
-func Speedup(base machine.Config, spec relation.Spec, alg join.Algorithm,
-	ds []int, memFrac float64) (map[int]sim.Time, error) {
-	out := make(map[int]sim.Time, len(ds))
-	for _, d := range ds {
-		cfg := base
-		cfg.D = d
-		sp := spec
-		sp.D = d
-		w, err := relation.Generate(sp)
-		if err != nil {
-			return nil, err
-		}
-		mem := int64(memFrac * float64(int64(sp.NR)*int64(sp.RSize)))
-		res, err := join.Run(alg, cfg, join.Params{Workload: w, MRproc: mem, Stagger: true})
-		if err != nil {
-			return nil, err
-		}
-		out[d] = res.Elapsed
-	}
-	return out, nil
-}
-
-// Scaleup grows the problem with D (NR = NS = perPartition·D) and returns
-// elapsed times keyed by D; flat times mean perfect scaleup.
-func Scaleup(base machine.Config, spec relation.Spec, alg join.Algorithm,
-	ds []int, perPartition int, memFrac float64) (map[int]sim.Time, error) {
-	out := make(map[int]sim.Time, len(ds))
-	for _, d := range ds {
-		cfg := base
-		cfg.D = d
-		sp := spec
-		sp.D = d
-		sp.NR = perPartition * d
-		sp.NS = perPartition * d
-		w, err := relation.Generate(sp)
-		if err != nil {
-			return nil, err
-		}
-		mem := int64(memFrac * float64(int64(sp.NR)*int64(sp.RSize)))
-		res, err := join.Run(alg, cfg, join.Params{Workload: w, MRproc: mem, Stagger: true})
-		if err != nil {
-			return nil, err
-		}
-		out[d] = res.Elapsed
-	}
-	return out, nil
-}
-
-// DistPoint is one row of the reference-distribution study (§9 future
-// work: "changing the nature of the joining relations").
-type DistPoint struct {
-	Dist     relation.Distribution
-	Skew     float64
-	Measured map[join.Algorithm]sim.Time
-}
-
-// DistSweep runs every algorithm across reference distributions at the
-// given memory fraction, reporting measured times and workload skew.
-func DistSweep(cfg machine.Config, base relation.Spec, algs []join.Algorithm,
-	memFrac float64) ([]DistPoint, error) {
-	specs := []relation.Spec{base}
-	zipf := base
-	zipf.Dist = relation.Zipf
-	zipf.ZipfTheta = 1.5
-	local := base
-	local.Dist = relation.Local
-	local.LocalFrac = 0.8
-	hot := base
-	hot.Dist = relation.HotPartition
-	hot.HotFrac = 0.4
-	specs = append(specs, zipf, local, hot)
-
-	out := make([]DistPoint, 0, len(specs))
-	for _, spec := range specs {
-		w, err := relation.Generate(spec)
-		if err != nil {
-			return nil, err
-		}
-		mem := int64(memFrac * float64(int64(spec.NR)*int64(spec.RSize)))
-		pt := DistPoint{Dist: spec.Dist, Skew: w.Skew(), Measured: map[join.Algorithm]sim.Time{}}
-		wantSig, _ := w.JoinSignature()
-		for _, alg := range algs {
-			res, err := join.Run(alg, cfg, join.Params{Workload: w, MRproc: mem, Stagger: true})
-			if err != nil {
-				return nil, err
-			}
-			if res.Signature != wantSig {
-				return nil, fmt.Errorf("core: %v computed a wrong join under %v", alg, spec.Dist)
-			}
-			pt.Measured[alg] = res.Elapsed
-		}
-		out = append(out, pt)
-	}
-	return out, nil
-}
+// The Fig. 5 panel fractions and the sweep procedures built on Compare
+// (memory sweeps, the §5.1 contention ablation, speedup/scaleup, the
+// distribution study) live in internal/sweep.

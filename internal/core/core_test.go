@@ -80,61 +80,6 @@ func TestModelTracksExperimentMidMemory(t *testing.T) {
 	}
 }
 
-func TestSweepMemoryDefaults(t *testing.T) {
-	e := testExperiment(t, 2000)
-	pts, err := e.SweepMemory(join.Grace, []float64{0.05, 0.2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(pts) != 2 {
-		t.Fatalf("%d points", len(pts))
-	}
-	if pts[0].MemFrac >= pts[1].MemFrac {
-		t.Error("fractions not increasing")
-	}
-	if Fig5Fractions(join.NestedLoops)[0] != 0.10 ||
-		Fig5Fractions(join.SortMerge)[0] != 0.010 ||
-		Fig5Fractions(join.Grace)[0] != 0.008 {
-		t.Error("Fig5Fractions panels wrong")
-	}
-	if Fig5Fractions(join.Algorithm(9)) != nil {
-		t.Error("unknown algorithm should give nil panel")
-	}
-}
-
-func TestSpeedupImproves(t *testing.T) {
-	cfg := machine.DefaultConfig()
-	cfg.Disk.Blocks = 40000
-	spec := relation.DefaultSpec()
-	spec.NR, spec.NS = 8000, 8000
-	times, err := Speedup(cfg, spec, join.Grace, []int{1, 4}, 0.05)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if times[4] >= times[1] {
-		t.Errorf("no speedup: D=1 %v, D=4 %v", times[1], times[4])
-	}
-	sp := float64(times[1]) / float64(times[4])
-	if sp < 2 {
-		t.Errorf("speedup at D=4 only %.2fx", sp)
-	}
-}
-
-func TestScaleupNearFlat(t *testing.T) {
-	cfg := machine.DefaultConfig()
-	cfg.Disk.Blocks = 40000
-	spec := relation.DefaultSpec()
-	times, err := Scaleup(cfg, spec, join.Grace, []int{1, 4}, 2000, 0.05)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ratio := float64(times[4]) / float64(times[1])
-	if ratio > 1.6 {
-		t.Errorf("scaleup degrades badly: D=1 %v, D=4 %v (ratio %.2f)",
-			times[1], times[4], ratio)
-	}
-}
-
 func TestPredictUnknownAlgorithm(t *testing.T) {
 	e := testExperiment(t, 2000)
 	if _, err := e.Predict(join.Algorithm(42), e.ParamsForFraction(0.1)); err == nil {
@@ -161,38 +106,6 @@ func TestHybridHashComparison(t *testing.T) {
 	}
 	if float64(cmp.Measured) > 1.05*float64(gr.Measured) {
 		t.Errorf("hybrid (%v) much slower than grace (%v)", cmp.Measured, gr.Measured)
-	}
-}
-
-func TestDistSweep(t *testing.T) {
-	cfg := machine.DefaultConfig()
-	cfg.Disk.Blocks = 40000
-	spec := relation.DefaultSpec()
-	spec.NR, spec.NS = 4000, 4000
-	pts, err := DistSweep(cfg, spec, []join.Algorithm{join.Grace, join.SortMerge}, 0.05)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(pts) != 4 {
-		t.Fatalf("%d points", len(pts))
-	}
-	if pts[0].Dist != relation.Uniform {
-		t.Error("first point should be uniform")
-	}
-	var hotSkew, uniSkew float64
-	for _, pt := range pts {
-		if len(pt.Measured) != 2 {
-			t.Errorf("%v: %d measurements", pt.Dist, len(pt.Measured))
-		}
-		switch pt.Dist {
-		case relation.Uniform:
-			uniSkew = pt.Skew
-		case relation.HotPartition:
-			hotSkew = pt.Skew
-		}
-	}
-	if hotSkew <= uniSkew {
-		t.Errorf("hot-partition skew %.2f not above uniform %.2f", hotSkew, uniSkew)
 	}
 }
 

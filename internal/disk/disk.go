@@ -84,6 +84,36 @@ type Stats struct {
 	Stalls       int64    // writer stalls on a full dirty queue
 }
 
+// CheckConservation verifies the drive-accounting conservation law the
+// calibration and the analytical model both rely on: the four service
+// components sum exactly to ServiceSum, and no counter is negative. It
+// returns an error naming the first violation.
+func (s Stats) CheckConservation() error {
+	if s.Reads < 0 || s.Writes < 0 || s.Stalls < 0 {
+		return fmt.Errorf("disk: negative counters (reads %d, writes %d, stalls %d)",
+			s.Reads, s.Writes, s.Stalls)
+	}
+	for _, c := range []struct {
+		name string
+		t    sim.Time
+	}{
+		{"seek", s.SeekTime}, {"rotation", s.RotationTime},
+		{"transfer", s.TransferTime}, {"overhead", s.OverheadTime},
+	} {
+		if c.t < 0 {
+			return fmt.Errorf("disk: negative %s time %v", c.name, c.t)
+		}
+	}
+	if sum := s.SeekTime + s.RotationTime + s.TransferTime + s.OverheadTime; sum != s.ServiceSum {
+		return fmt.Errorf("disk: seek+rotation+transfer+overhead = %v but ServiceSum = %v (off by %v)",
+			sum, s.ServiceSum, s.ServiceSum-sum)
+	}
+	if s.Reads+s.Writes == 0 && s.ServiceSum != 0 {
+		return fmt.Errorf("disk: service time %v with no I/O", s.ServiceSum)
+	}
+	return nil
+}
+
 // Disk is one simulated drive (the paper's one-controller-per-disk case).
 type Disk struct {
 	name string
@@ -95,10 +125,10 @@ type Disk struct {
 
 	dirty     []int
 	dirtySet  map[int]struct{} // blocks in dirty (not blocks mid-flush)
-	work      *sim.Cond // flusher waits here when idle
-	space     *sim.Cond // writers wait here when the queue is full
-	drained   *sim.Cond // Drain waits here
-	flushing  int       // blocks currently being written by the flusher
+	work      *sim.Cond        // flusher waits here when idle
+	space     *sim.Cond        // writers wait here when the queue is full
+	drained   *sim.Cond        // Drain waits here
+	flushing  int              // blocks currently being written by the flusher
 	closed    bool
 	flusherUp bool
 

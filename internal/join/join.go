@@ -165,6 +165,74 @@ type Result struct {
 	K, TSize          int
 }
 
+// CheckInvariants verifies the conservation laws every execution must
+// satisfy, regardless of algorithm, memory budget, policy, or reference
+// distribution; the conformance suite asserts it across randomized
+// configurations. Checked: the join output matches the workload's
+// reference in-memory join (cardinality and order-independent
+// signature); Elapsed is the maximum per-Rproc completion time; phase
+// completion times and their I/O snapshots are within the run's totals;
+// the disk accounting conserves (components sum to ServiceSum) and
+// matches the read/write counters; and pager fault accounting is
+// bounded by the disk (every non-zero-fill fault is a disk read, but
+// the machine also reads outside the pagers, so faults − zero fills ≤
+// disk reads).
+func (r *Result) CheckInvariants(w *relation.Workload) error {
+	wantSig, wantPairs := w.JoinSignature()
+	if r.Pairs != wantPairs {
+		return fmt.Errorf("join: %v produced %d pairs, reference join has %d",
+			r.Algorithm, r.Pairs, wantPairs)
+	}
+	if r.Signature != wantSig {
+		return fmt.Errorf("join: %v signature %#x != reference %#x",
+			r.Algorithm, r.Signature, wantSig)
+	}
+	if len(r.PerProc) != w.Spec.D {
+		return fmt.Errorf("join: %d per-proc times for D=%d", len(r.PerProc), w.Spec.D)
+	}
+	max := sim.Time(0)
+	for i, t := range r.PerProc {
+		if t <= 0 {
+			return fmt.Errorf("join: Rproc%d completion %v not positive", i, t)
+		}
+		if t > max {
+			max = t
+		}
+	}
+	if r.Elapsed != max {
+		return fmt.Errorf("join: Elapsed %v != max per-proc %v", r.Elapsed, max)
+	}
+	prev := PhaseTime{}
+	for _, ph := range r.Phases {
+		if ph.End < prev.End || ph.End > r.Elapsed {
+			return fmt.Errorf("join: phase %q ends at %v outside [%v, %v]",
+				ph.Name, ph.End, prev.End, r.Elapsed)
+		}
+		if ph.Reads < prev.Reads || ph.Reads > r.DiskReads ||
+			ph.Writes < prev.Writes || ph.Writes > r.DiskWrites {
+			return fmt.Errorf("join: phase %q I/O snapshot (%d r, %d w) not monotone within totals (%d r, %d w)",
+				ph.Name, ph.Reads, ph.Writes, r.DiskReads, r.DiskWrites)
+		}
+		prev = ph
+	}
+	if err := r.Disk.CheckConservation(); err != nil {
+		return fmt.Errorf("join: %v: %w", r.Algorithm, err)
+	}
+	if r.DiskReads != r.Disk.Reads || r.DiskWrites != r.Disk.Writes {
+		return fmt.Errorf("join: counters (%d r, %d w) disagree with disk stats (%d r, %d w)",
+			r.DiskReads, r.DiskWrites, r.Disk.Reads, r.Disk.Writes)
+	}
+	if r.Faults < 0 || r.ZeroFills < 0 || r.Faults < r.ZeroFills {
+		return fmt.Errorf("join: fault accounting broken (faults %d, zero fills %d)",
+			r.Faults, r.ZeroFills)
+	}
+	if r.Faults-r.ZeroFills > r.DiskReads {
+		return fmt.Errorf("join: faults %d − zero fills %d exceed disk reads %d",
+			r.Faults, r.ZeroFills, r.DiskReads)
+	}
+	return nil
+}
+
 // Run executes the chosen algorithm on a fresh machine built from cfg and
 // returns the result. The machine, all processes, and all I/O exist only
 // for this call; runs are deterministic.

@@ -86,6 +86,30 @@ func (p *Prediction) add(name string, t sim.Time) {
 	p.Total += t
 }
 
+// CheckConsistency verifies the prediction's internal bookkeeping: the
+// additive breakdown sums exactly to Total, no component is negative,
+// and the plan parameters are non-negative (conformance-suite hook).
+func (p *Prediction) CheckConsistency() error {
+	var sum sim.Time
+	for _, c := range p.Components {
+		if c.T < 0 {
+			return fmt.Errorf("model: component %q negative (%v)", c.Name, c.T)
+		}
+		sum += c.T
+	}
+	if sum != p.Total {
+		return fmt.Errorf("model: components sum to %v but Total is %v", sum, p.Total)
+	}
+	if p.Total <= 0 {
+		return fmt.Errorf("model: non-positive Total %v", p.Total)
+	}
+	if p.IRun < 0 || p.NPass < 0 || p.LRun < 0 || p.K < 0 || p.TSize < 0 {
+		return fmt.Errorf("model: negative plan parameter (IRUN %d NPASS %d LRUN %d K %d TSIZE %d)",
+			p.IRun, p.NPass, p.LRun, p.K, p.TSize)
+	}
+	return nil
+}
+
 // quantities derives the per-partition object and page counts shared by
 // the three analyses.
 type quantities struct {

@@ -1,0 +1,102 @@
+package pheap
+
+import (
+	"testing"
+)
+
+// FuzzHeap drives one heap with an arbitrary operation sequence —
+// Floyd construction, inserts, delete-mins, and replace-mins — and
+// checks the heap invariant (Verify) plus min-tracking against a shadow
+// model after every step. The byte string is the op tape: each byte's
+// low two bits pick the operation and the whole byte doubles as the
+// inserted value, so plain `go test` already exercises the seed corpus.
+func FuzzHeap(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 0, 1, 2, 3})
+	f.Add([]byte{255, 0, 255, 0, 7, 7, 7, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 1<<12 {
+			t.Skip("cap work per input")
+		}
+		less := func(a, b int32) bool { return a < b }
+		// Start from a Floyd build over a prefix of the tape so
+		// construction is fuzzed too, not just the empty heap.
+		n := len(ops) / 2
+		init := make([]int32, n)
+		shadow := make(map[int32]int, n)
+		for i := 0; i < n; i++ {
+			v := int32(ops[i])
+			init[i] = v
+			shadow[v]++
+		}
+		h := NewFloyd(init, less)
+		size := n
+		if err := h.Verify(); err != nil {
+			t.Fatalf("after Floyd build of %d items: %v", n, err)
+		}
+		shadowMin := func() int32 {
+			min := int32(-1)
+			for v := range shadow {
+				if min < 0 || v < min {
+					min = v
+				}
+			}
+			return min
+		}
+		apply := func(v int32, delta int) {
+			shadow[v] += delta
+			if shadow[v] == 0 {
+				delete(shadow, v)
+			}
+		}
+		for i, op := range ops[n:] {
+			v := int32(op)
+			switch op % 4 {
+			case 0, 1: // bias toward growth so delete paths see depth
+				h.Insert(v)
+				apply(v, 1)
+				size++
+			case 2:
+				if size == 0 {
+					continue
+				}
+				got := h.DeleteMin()
+				if want := shadowMin(); got != want {
+					t.Fatalf("op %d: DeleteMin=%d, shadow min %d", i, got, want)
+				}
+				apply(got, -1)
+				size--
+			case 3:
+				if size == 0 {
+					continue
+				}
+				got := h.ReplaceMin(v)
+				if want := shadowMin(); got != want {
+					t.Fatalf("op %d: ReplaceMin evicted %d, shadow min %d", i, got, want)
+				}
+				apply(got, -1)
+				apply(v, 1)
+			}
+			if h.Len() != size {
+				t.Fatalf("op %d: Len=%d, shadow size %d", i, h.Len(), size)
+			}
+			if err := h.Verify(); err != nil {
+				t.Fatalf("op %d (%d): %v", i, op%4, err)
+			}
+		}
+		// Drain: the heap must hand everything back in sorted order.
+		prev := int32(-1)
+		for size > 0 {
+			got := h.DeleteMin()
+			if got < prev {
+				t.Fatalf("drain out of order: %d after %d", got, prev)
+			}
+			apply(got, -1)
+			prev = got
+			size--
+		}
+		if len(shadow) != 0 {
+			t.Fatalf("heap drained but shadow still holds %d values", len(shadow))
+		}
+	})
+}

@@ -1,0 +1,70 @@
+package relation
+
+import (
+	"testing"
+)
+
+// FuzzGenerate throws arbitrary specifications at the workload generator
+// and checks that every accepted spec yields a structurally sound
+// workload: partition sizes summing to the relation cardinalities, every
+// reference resolving to a real S object, and generation being a pure
+// function of the spec (same spec ⇒ identical signature). The seed
+// corpus covers every distribution; `go test` runs it, and
+// `go test -fuzz FuzzGenerate ./internal/relation` explores further.
+func FuzzGenerate(f *testing.F) {
+	f.Add(100, 100, 16, 16, 8, 2, int(Uniform), int64(1), 1.5, 0.8, 0.4)
+	f.Add(300, 200, 128, 128, 8, 4, int(Zipf), int64(7), 1.2, 0.0, 0.0)
+	f.Add(64, 500, 32, 64, 4, 3, int(Local), int64(-3), 0.0, 0.5, 0.0)
+	f.Add(500, 64, 24, 8, 8, 5, int(HotPartition), int64(0), 0.0, 0.0, 0.9)
+	f.Fuzz(func(t *testing.T, nr, ns, rsize, ssize, ptr, d, dist int,
+		seed int64, theta, localFrac, hotFrac float64) {
+		if nr > 1<<14 || ns > 1<<14 || d > 64 || rsize > 1<<12 || ssize > 1<<12 {
+			t.Skip("cap work per input")
+		}
+		spec := Spec{
+			NR: nr, NS: ns,
+			RSize: rsize, SSize: ssize, PtrSize: ptr,
+			D:    d,
+			Dist: Distribution(dist), Seed: seed,
+			ZipfTheta: theta, LocalFrac: localFrac, HotFrac: hotFrac,
+		}
+		if spec.Validate() != nil {
+			return // invalid specs must be rejected, not generated
+		}
+		w, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("validated spec rejected by Generate: %v", err)
+		}
+		if len(w.Refs) != d {
+			t.Fatalf("%d partitions for D=%d", len(w.Refs), d)
+		}
+		totalR := 0
+		for i, part := range w.Refs {
+			if len(part) != w.SizeR(i) {
+				t.Fatalf("partition %d has %d objects, SizeR says %d", i, len(part), w.SizeR(i))
+			}
+			totalR += len(part)
+			for x, ref := range part {
+				if ref.Part < 0 || int(ref.Part) >= d {
+					t.Fatalf("R%d[%d] points at partition %d of %d", i, x, ref.Part, d)
+				}
+				if ref.Index < 0 || int(ref.Index) >= w.SizeS(int(ref.Part)) {
+					t.Fatalf("R%d[%d] points at S%d[%d], partition size %d",
+						i, x, ref.Part, ref.Index, w.SizeS(int(ref.Part)))
+				}
+			}
+		}
+		if totalR != nr {
+			t.Fatalf("partitions hold %d objects, NR=%d", totalR, nr)
+		}
+		sig1, pairs := w.JoinSignature()
+		if pairs != int64(nr) {
+			t.Fatalf("pointer join yields %d pairs, want one per R object (%d)", pairs, nr)
+		}
+		w2 := MustGenerate(spec)
+		sig2, _ := w2.JoinSignature()
+		if sig1 != sig2 {
+			t.Fatalf("same spec generated different workloads (%#x vs %#x)", sig1, sig2)
+		}
+	})
+}

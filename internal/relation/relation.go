@@ -107,6 +107,8 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("relation: SSize=%d must be positive", s.SSize)
 	case s.NS < s.D || s.NR < s.D:
 		return fmt.Errorf("relation: relations smaller than D=%d", s.D)
+	case s.Dist < Uniform || s.Dist > HotPartition:
+		return fmt.Errorf("relation: unknown distribution %v", s.Dist)
 	case s.Dist == Zipf && s.ZipfTheta <= 1:
 		return fmt.Errorf("relation: Zipf needs ZipfTheta > 1, got %g", s.ZipfTheta)
 	case s.Dist == Local && (s.LocalFrac < 0 || s.LocalFrac > 1):

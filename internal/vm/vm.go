@@ -337,6 +337,41 @@ func (pg *Pager) FlushAll(p *sim.Proc) {
 	}
 }
 
+// CheckInvariants verifies the pager's structural invariants: the
+// resident set never exceeds the frame quota minus reservations, the
+// reservation count stays within [0, frames), and the LRU list and the
+// resident index describe the same set of pages. It returns an error
+// naming the first violation (conformance-suite hook).
+func (pg *Pager) CheckInvariants() error {
+	if pg.reserved < 0 || pg.reserved >= pg.frames {
+		return fmt.Errorf("vm: %s reserved %d outside [0, %d)", pg.name, pg.reserved, pg.frames)
+	}
+	if pg.lru.Len() > pg.avail() {
+		return fmt.Errorf("vm: %s resident %d exceeds quota %d (frames %d − reserved %d)",
+			pg.name, pg.lru.Len(), pg.avail(), pg.frames, pg.reserved)
+	}
+	if pg.lru.Len() != len(pg.resident) {
+		return fmt.Errorf("vm: %s LRU list has %d pages but index has %d",
+			pg.name, pg.lru.Len(), len(pg.resident))
+	}
+	for el := pg.lru.Front(); el != nil; el = el.Next() {
+		key := el.Value.(*frame).key
+		if got, ok := pg.resident[key]; !ok || got != el {
+			return fmt.Errorf("vm: %s page %s[%d] on LRU list but not indexed",
+				pg.name, key.seg.Name(), key.page)
+		}
+	}
+	if st := pg.stats; st.Faults != st.DiskReads+st.ZeroFills {
+		return fmt.Errorf("vm: %s faults %d != disk reads %d + zero fills %d",
+			pg.name, st.Faults, st.DiskReads, st.ZeroFills)
+	}
+	if st := pg.stats; st.Touches != st.Hits+st.Faults {
+		return fmt.Errorf("vm: %s touches %d != hits %d + faults %d",
+			pg.name, st.Touches, st.Hits, st.Faults)
+	}
+	return nil
+}
+
 // IsResident reports whether the given page of s is in memory (test and
 // instrumentation hook).
 func (pg *Pager) IsResident(s *seg.Segment, page int) bool {
