@@ -5,6 +5,7 @@ package mmjoin
 // headline output. Skipped under -short.
 
 import (
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -47,9 +48,18 @@ func TestCmdCalibrateSmoke(t *testing.T) {
 	if !strings.Contains(out, "dttr") || !strings.Contains(out, "dttw") {
 		t.Errorf("fig 1a output:\n%s", out)
 	}
+	// Parallel band measurement prints the same table shape.
+	out = runCmd(t, bin, "-fig", "1a", "-ops", "300", "-parallel", "2")
+	if !strings.Contains(out, "dttr") || !strings.Contains(out, "dttw") {
+		t.Errorf("fig 1a -parallel output:\n%s", out)
+	}
 	// Unknown figure fails.
 	if err := exec.Command(bin, "-fig", "9z").Run(); err == nil {
 		t.Error("unknown figure accepted")
+	}
+	// -parallel below 1 is rejected.
+	if err := exec.Command(bin, "-fig", "1b", "-parallel", "0").Run(); err == nil {
+		t.Error("-parallel 0 accepted")
 	}
 }
 
@@ -67,6 +77,18 @@ func TestCmdSweepSmoke(t *testing.T) {
 	if !strings.Contains(out, "zipf") {
 		t.Errorf("dist output:\n%s", out)
 	}
+	// An explicit worker count works and prints the same table shape.
+	out = runCmd(t, bin, "-fig", "5b", "-objects", "8000", "-parallel", "2")
+	if !strings.Contains(out, "sort-merge") || !strings.Contains(out, "NPASS") {
+		t.Errorf("fig 5b -parallel output:\n%s", out)
+	}
+	// -parallel below 1 is rejected.
+	if err := exec.Command(bin, "-fig", "5b", "-parallel", "0").Run(); err == nil {
+		t.Error("-parallel 0 accepted")
+	}
+	if err := exec.Command(bin, "-fig", "5b", "-parallel", "-3").Run(); err == nil {
+		t.Error("negative -parallel accepted")
+	}
 }
 
 func TestCmdJoinsimSmoke(t *testing.T) {
@@ -83,6 +105,30 @@ func TestCmdJoinsimSmoke(t *testing.T) {
 	}
 	if err := exec.Command(bin, "-alg", "nope").Run(); err == nil {
 		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestCmdBenchSmoke(t *testing.T) {
+	bin := buildCmd(t, "bench")
+	out := filepath.Join(t.TempDir(), "bench.json")
+	got := runCmd(t, bin, "-objects", "4000", "-parallel", "2", "-out", out)
+	for _, want := range []string{"speedup", "events/sec", "baseline written"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in output:\n%s", want, got)
+		}
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"mmjoin-bench/v1", "sequential_ns", "dispatch_ping_pong", "allocs_per_op"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("missing %q in %s", want, out)
+		}
+	}
+	// -parallel below 1 is rejected.
+	if err := exec.Command(bin, "-parallel", "0").Run(); err == nil {
+		t.Error("-parallel 0 accepted")
 	}
 }
 

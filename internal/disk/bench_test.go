@@ -1,0 +1,58 @@
+package disk
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mmjoin/internal/sim"
+)
+
+// BenchmarkReadRandom measures the foreground read service loop: random
+// single-block reads with an uncontended arm (seek computation, component
+// accounting, one dispatch per read).
+func BenchmarkReadRandom(b *testing.B) {
+	b.ReportAllocs()
+	cfg := DefaultConfig()
+	k := sim.NewKernel()
+	d := MustNew(k, "d0", cfg)
+	blocks := rand.New(rand.NewSource(1)).Perm(cfg.Blocks)[:4096]
+	k.Spawn("reader", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			d.Read(p, blocks[i%len(blocks)])
+		}
+		d.Close()
+	})
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkFlusher measures the pageout daemon's shortest-seek-first
+// drain at growing batch sizes: the writer fills the dirty queue with
+// random blocks, then Drain forces a full SSTF flush cycle. Large batches
+// expose the cost of selecting the next-nearest block per write.
+func BenchmarkFlusher(b *testing.B) {
+	for _, batch := range []int{32, 512, 4096} {
+		batch := batch
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			b.ReportAllocs()
+			cfg := DefaultConfig()
+			cfg.WriteQueue = batch
+			cfg.WriteBatch = batch
+			k := sim.NewKernel()
+			d := MustNew(k, "d0", cfg)
+			blocks := rand.New(rand.NewSource(1)).Perm(cfg.Blocks)[:batch]
+			k.Spawn("writer", func(p *sim.Proc) {
+				for i := 0; i < b.N; i++ {
+					for _, blk := range blocks {
+						d.ScheduleWrite(p, blk)
+					}
+					d.Drain(p)
+				}
+				d.Close()
+			})
+			b.ResetTimer()
+			k.Run()
+		})
+	}
+}

@@ -3,6 +3,9 @@ package disk
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"mmjoin/internal/metrics"
 	"mmjoin/internal/sim"
@@ -45,6 +48,49 @@ func MeasureDTTInstrumented(cfg Config, bands []int, opsPerBand int, seed int64,
 			Write: measureOne(cfg, fmt.Sprintf("calib.b%d.write", band), band, opsPerBand, seed+1, true, reg),
 		})
 	}
+	return points
+}
+
+// MeasureDTTParallel is MeasureDTT running band measurements across
+// parallelism host workers (zero or negative selects GOMAXPROCS). Every
+// band runs on its own fresh drive with a band-local seed, so the
+// returned points are identical to the sequential measurement no matter
+// the worker count or completion order. There is no instrumented
+// variant: a shared registry's registration order would depend on host
+// scheduling, so telemetry keeps the sequential path.
+func MeasureDTTParallel(cfg Config, bands []int, opsPerBand int, seed int64, parallelism int) []DTTPoint {
+	w := parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(bands) {
+		w = len(bands)
+	}
+	if w <= 1 {
+		return MeasureDTT(cfg, bands, opsPerBand, seed)
+	}
+	points := make([]DTTPoint, len(bands))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(bands) {
+					return
+				}
+				band := bands[i]
+				points[i] = DTTPoint{
+					Band:  band,
+					Read:  measureOne(cfg, fmt.Sprintf("calib.b%d.read", band), band, opsPerBand, seed, false, nil),
+					Write: measureOne(cfg, fmt.Sprintf("calib.b%d.write", band), band, opsPerBand, seed+1, true, nil),
+				}
+			}
+		}()
+	}
+	wg.Wait()
 	return points
 }
 

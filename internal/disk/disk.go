@@ -125,6 +125,7 @@ type Disk struct {
 
 	dirty     []int
 	dirtySet  map[int]struct{} // blocks in dirty (not blocks mid-flush)
+	sstf      sstfQueue        // reusable per-batch SSTF ordering
 	work      *sim.Cond        // flusher waits here when idle
 	space     *sim.Cond        // writers wait here when the queue is full
 	drained   *sim.Cond        // Drain waits here
@@ -363,24 +364,20 @@ func (d *Disk) flusher(p *sim.Proc) {
 		if n > d.cfg.WriteBatch {
 			n = d.cfg.WriteBatch
 		}
-		batch := make([]int, n)
-		copy(batch, d.dirty[:n])
+		d.sstf.reset(d.dirty[:n])
 		d.dirty = d.dirty[n:]
 		// Drop the batch from the dedup set NOW, not after the writes:
 		// a block re-dirtied while mid-flush must queue a second
 		// physical write, or the re-dirty is silently lost.
-		for _, b := range batch {
+		for _, b := range d.sstf.blocks {
 			delete(d.dirtySet, b)
 		}
 		d.flushing = n
 		d.space.Broadcast()
 
 		// Shortest-seek-first: repeatedly pick the block nearest the head.
-		sort.Ints(batch)
-		for len(batch) > 0 {
-			i := nearestIndex(batch, d.head*d.cfg.BlocksPerCylinder)
-			block := batch[i]
-			batch = append(batch[:i], batch[i+1:]...)
+		for d.sstf.remaining > 0 {
+			block := d.sstf.pop(d.head * d.cfg.BlocksPerCylinder)
 
 			d.arm.Acquire(p)
 			sv := d.serviceParts(block, d.cfg.WriteRotFactor)
@@ -400,7 +397,9 @@ func (d *Disk) flusher(p *sim.Proc) {
 }
 
 // nearestIndex returns the index in sorted blocks whose value is closest
-// to pos.
+// to pos (ties go to the lower block). It is the reference selection rule
+// that sstfQueue must reproduce exactly; the flusher itself uses the
+// queue, which avoids the O(n) slice compaction per pick.
 func nearestIndex(blocks []int, pos int) int {
 	i := sort.SearchInts(blocks, pos)
 	if i == 0 {
@@ -413,4 +412,83 @@ func nearestIndex(blocks []int, pos int) int {
 		return i - 1
 	}
 	return i
+}
+
+// sstfQueue pops a sorted batch of blocks in shortest-seek-first order.
+// Entries never move after reset: consumed ones are unlinked from an
+// index-based doubly-linked list, and each pop re-anchors from the
+// neighborhood of the previous pick rather than re-searching the whole
+// batch. When the head moves to the block just written (the common case —
+// foreground reads only occasionally drag it elsewhere) the next pick is
+// adjacent, so a full batch drains in O(n log n) for the initial sort
+// plus O(n) of link walking, replacing the old sort + per-pick slice
+// compaction that cost O(n²) per flush. All buffers are reused across
+// batches, so steady-state flushing allocates nothing.
+type sstfQueue struct {
+	blocks    []int // the batch, sorted ascending; never compacted
+	prev      []int // index of nearest live entry below i, or -1
+	next      []int // index of nearest live entry above i, or len(blocks)
+	hint      int   // last-popped index; -1 before the first pop
+	remaining int   // live entries left
+}
+
+// reset loads a new batch (copied, then sorted in place).
+func (q *sstfQueue) reset(batch []int) {
+	q.blocks = append(q.blocks[:0], batch...)
+	sort.Ints(q.blocks)
+	n := len(q.blocks)
+	if cap(q.prev) < n {
+		q.prev = make([]int, n)
+		q.next = make([]int, n)
+	}
+	q.prev = q.prev[:n]
+	q.next = q.next[:n]
+	for i := 0; i < n; i++ {
+		q.prev[i] = i - 1
+		q.next[i] = i + 1
+	}
+	q.hint = -1
+	q.remaining = n
+}
+
+// pop removes and returns the live block nearest pos, with ties going to
+// the lower block — exactly nearestIndex's rule over the live entries.
+func (q *sstfQueue) pop(pos int) int {
+	n := len(q.blocks)
+	var lo, hi int
+	if q.hint < 0 {
+		// First pop: binary-search the bracketing pair.
+		hi = sort.SearchInts(q.blocks, pos)
+		lo = hi - 1
+	} else {
+		// Start from the hole left by the previous pop and re-anchor:
+		// the head usually lands on the cylinder just written, but a
+		// foreground read can drag pos arbitrarily far, so walk the
+		// bracket in whichever direction pos moved. Each step updates
+		// the trailing pointer, so the walk never overshoots.
+		lo, hi = q.prev[q.hint], q.next[q.hint]
+		for lo >= 0 && q.blocks[lo] >= pos {
+			hi = lo
+			lo = q.prev[lo]
+		}
+		for hi < n && q.blocks[hi] < pos {
+			lo = hi
+			hi = q.next[hi]
+		}
+	}
+	// Invariant here: lo is the largest live index with block < pos (or
+	// -1), hi the smallest with block >= pos (or n).
+	i := hi
+	if lo >= 0 && (hi >= n || pos-q.blocks[lo] <= q.blocks[hi]-pos) {
+		i = lo
+	}
+	if p := q.prev[i]; p >= 0 {
+		q.next[p] = q.next[i]
+	}
+	if nx := q.next[i]; nx < n {
+		q.prev[nx] = q.prev[i]
+	}
+	q.hint = i
+	q.remaining--
+	return q.blocks[i]
 }

@@ -329,6 +329,23 @@ func TestMeasureDTTDeterministic(t *testing.T) {
 	}
 }
 
+func TestMeasureDTTParallelMatchesSequential(t *testing.T) {
+	cfg := smallConfig()
+	bands := []int{1, 100, 400, 1600}
+	want := MeasureDTT(cfg, bands, 300, 42)
+	for _, par := range []int{2, 4, 0} { // 0 selects GOMAXPROCS
+		got := MeasureDTTParallel(cfg, bands, 300, 42, par)
+		if len(got) != len(want) {
+			t.Fatalf("parallelism %d: %d points, want %d", par, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("parallelism %d band %d: %+v, want %+v", par, want[i].Band, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestRedirtyDuringFlushWritesTwice(t *testing.T) {
 	// Regression: a block re-dirtied after the flusher picked it up (but
 	// before its write completed) was silently coalesced away, losing the

@@ -1,0 +1,106 @@
+package disk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// naiveSSTF is the reference drain: sort, then repeatedly nearestIndex +
+// slice-delete — the algorithm the flusher used before sstfQueue. head
+// evolves exactly as in the flusher (pos = cylinder of last write), with
+// jump injecting the occasional foreground read dragging the head away.
+func naiveSSTF(batch []int, pos int, bpc int, jump func(step int) (int, bool)) []int {
+	blocks := append([]int(nil), batch...)
+	sort.Ints(blocks)
+	var order []int
+	for step := 0; len(blocks) > 0; step++ {
+		if p, ok := jump(step); ok {
+			pos = p
+		}
+		i := nearestIndex(blocks, pos)
+		b := blocks[i]
+		blocks = append(blocks[:i], blocks[i+1:]...)
+		order = append(order, b)
+		pos = b / bpc * bpc
+	}
+	return order
+}
+
+// TestSSTFQueueMatchesNaive drives sstfQueue and the reference
+// implementation over random batches (with duplicates-free values, as the
+// dirty queue guarantees) and random head perturbations, requiring the
+// identical pop order.
+func TestSSTFQueueMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const bpc = 64
+	var q sstfQueue
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		batch := rng.Perm(100 * bpc)[:n]
+		pos0 := rng.Intn(100*bpc + 1)
+		// Occasionally yank the head elsewhere mid-drain, as an
+		// interleaved foreground read would.
+		jumps := map[int]int{}
+		for j := 0; j < n/10; j++ {
+			jumps[rng.Intn(n)] = rng.Intn(100*bpc) / bpc * bpc
+		}
+		jump := func(step int) (int, bool) { p, ok := jumps[step]; return p, ok }
+
+		want := naiveSSTF(batch, pos0, bpc, jump)
+
+		q.reset(batch)
+		pos := pos0
+		var got []int
+		for step := 0; q.remaining > 0; step++ {
+			if p, ok := jump(step); ok {
+				pos = p
+			}
+			b := q.pop(pos)
+			got = append(got, b)
+			pos = b / bpc * bpc
+		}
+
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: popped %d blocks, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: pop %d = %d, want %d (batch %v, pos0 %d)",
+					trial, i, got[i], want[i], batch, pos0)
+			}
+		}
+	}
+}
+
+// TestSSTFQueueReuse checks the queue's buffers survive resets at
+// different sizes without cross-batch contamination.
+func TestSSTFQueueReuse(t *testing.T) {
+	var q sstfQueue
+	for _, batch := range [][]int{
+		{5, 1, 9},
+		{100, 2, 50, 75, 3, 99, 0},
+		{42},
+		{},
+		{7, 6},
+	} {
+		q.reset(batch)
+		var got []int
+		pos := 0
+		for q.remaining > 0 {
+			b := q.pop(pos)
+			got = append(got, b)
+			pos = b
+		}
+		want := append([]int(nil), batch...)
+		sort.Ints(want) // from pos 0, ascending drain is the SSTF order
+		if len(got) != len(want) {
+			t.Fatalf("batch %v: got %v", batch, got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("batch %v: got %v, want %v", batch, got, want)
+			}
+		}
+	}
+}

@@ -36,7 +36,15 @@ type Calibration struct {
 // opsPerBand controls calibration effort; seed fixes the random access
 // patterns.
 func Calibrate(cfg machine.Config, opsPerBand int, seed int64) Calibration {
-	dtt := disk.MeasureDTT(cfg.Disk, disk.StandardBands, opsPerBand, seed)
+	return CalibrateParallel(cfg, opsPerBand, seed, 1)
+}
+
+// CalibrateParallel is Calibrate with the dtt band measurements spread
+// across parallelism host workers (zero or negative selects GOMAXPROCS).
+// The result is identical to Calibrate for any worker count: each band
+// measures on its own drive with a band-local seed.
+func CalibrateParallel(cfg machine.Config, opsPerBand int, seed int64, parallelism int) Calibration {
+	dtt := disk.MeasureDTTParallel(cfg.Disk, disk.StandardBands, opsPerBand, seed, parallelism)
 	setup := seg.MeasureSetup(cfg.Disk, cfg.Setup, seg.StandardSetupSizes)
 
 	bands := make([]float64, len(dtt))

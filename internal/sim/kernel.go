@@ -9,7 +9,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -57,29 +56,76 @@ type event struct {
 	proc *Proc
 }
 
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+// eventHeap is a binary min-heap ordered by (at, seq). The sift routines
+// are implemented directly on the slice — unlike container/heap, pushes
+// and pops move plain event values with no interface boxing, so the
+// popped storage is reused by later pushes and the steady-state dispatch
+// loop allocates nothing.
 type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+
+func (h *eventHeap) pushEvent(e event) {
+	hs := append(*h, e)
+	*h = hs
+	i := len(hs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !hs[i].before(hs[parent]) {
+			break
+		}
+		hs[i], hs[parent] = hs[parent], hs[i]
+		i = parent
 	}
-	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event        { return h[0] }
-func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
-func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+func (h *eventHeap) popEvent() event {
+	hs := *h
+	top := hs[0]
+	n := len(hs) - 1
+	hs[0] = hs[n]
+	hs[n] = event{} // release the proc pointer in the vacated slot
+	hs = hs[:n]
+	*h = hs
+	i := 0
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && hs[r].before(hs[child]) {
+			child = r
+		}
+		if !hs[child].before(hs[i]) {
+			break
+		}
+		hs[i], hs[child] = hs[child], hs[i]
+		i = child
+	}
+	return top
+}
 
 // Kernel is a discrete-event simulator. The zero value is not usable;
 // create one with NewKernel.
+//
+// Control transfer is a direct handoff: exactly one goroutine — Run's
+// caller or one process — holds the baton at any instant, and whoever
+// yields pops the next event and wakes its process itself. A dispatch
+// therefore costs a single channel operation (and none at all when a
+// process's own wake-up is the next event), rather than the two
+// operations of a central scheduler loop.
 type Kernel struct {
 	now      Time
 	events   eventHeap
 	seq      int64
-	yieldCh  chan struct{}
+	done     chan struct{} // baton back to Run: no runnable event, or a panic
 	procs    []*Proc
 	live     int
 	running  bool
@@ -88,7 +134,7 @@ type Kernel struct {
 
 // NewKernel returns an empty kernel at time zero.
 func NewKernel() *Kernel {
-	return &Kernel{yieldCh: make(chan struct{})}
+	return &Kernel{done: make(chan struct{})}
 }
 
 // Now returns the current virtual time.
@@ -106,12 +152,15 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 	k.live++
 	go func() {
 		defer func() {
-			if r := recover(); r != nil {
-				k.panicVal = r
-			}
 			p.state = procDone
 			k.live--
-			k.yieldCh <- struct{}{}
+			if r := recover(); r != nil {
+				// Abandon pending events and surface the panic from Run.
+				k.panicVal = r
+				k.done <- struct{}{}
+				return
+			}
+			k.handoff()
 		}()
 		<-p.wake // wait for first dispatch
 		fn(p)
@@ -130,6 +179,31 @@ func (k *Kernel) schedule(p *Proc, at Time) {
 	p.state = procReady
 }
 
+// start pops events until one names a live process, dispatches it, and
+// reports whether control was handed off. It must be called by the
+// goroutine currently holding the baton.
+func (k *Kernel) start() bool {
+	for k.events.Len() > 0 {
+		e := k.events.popEvent()
+		if e.proc.state == procDone {
+			continue
+		}
+		k.now = e.at
+		e.proc.state = procRunning
+		e.proc.wake <- struct{}{}
+		return true
+	}
+	return false
+}
+
+// handoff transfers the baton from an exiting process to the next
+// runnable one, or back to Run when no event remains.
+func (k *Kernel) handoff() {
+	if !k.start() {
+		k.done <- struct{}{}
+	}
+}
+
 // Run executes until no runnable process remains and returns the final
 // virtual time. It panics with a description of blocked processes if some
 // process is blocked forever (a deadlock in the simulated program).
@@ -139,20 +213,13 @@ func (k *Kernel) Run() Time {
 	}
 	k.running = true
 	defer func() { k.running = false }()
-	for k.events.Len() > 0 {
-		e := k.events.popEvent()
-		if e.proc.state == procDone {
-			continue
-		}
-		k.now = e.at
-		e.proc.state = procRunning
-		e.proc.wake <- struct{}{}
-		<-k.yieldCh
-		if k.panicVal != nil {
-			v := k.panicVal
-			k.panicVal = nil
-			panic(v)
-		}
+	if k.start() {
+		<-k.done
+	}
+	if k.panicVal != nil {
+		v := k.panicVal
+		k.panicVal = nil
+		panic(v)
 	}
 	if k.live > 0 {
 		var blocked []string
@@ -203,11 +270,29 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.k.now }
 
-// yield hands control back to the kernel and waits to be dispatched again.
+// yield hands control to the next scheduled process and waits to be
+// dispatched again. When the caller's own wake-up is the next event, it
+// simply keeps running — no channel operation at all.
 func (p *Proc) yield() {
-	p.k.yieldCh <- struct{}{}
+	k := p.k
+	for k.events.Len() > 0 {
+		e := k.events.popEvent()
+		if e.proc.state == procDone {
+			continue
+		}
+		k.now = e.at
+		e.proc.state = procRunning
+		if e.proc != p {
+			e.proc.wake <- struct{}{}
+			<-p.wake
+		}
+		return
+	}
+	// No runnable event anywhere: hand the baton back to Run, which
+	// decides between completion and deadlock. A blocked caller parks
+	// forever (exactly the deadlock Run then reports).
+	k.done <- struct{}{}
 	<-p.wake
-	p.state = procRunning
 }
 
 // Advance consumes d of virtual time (CPU work, transfer time, ...).

@@ -41,18 +41,28 @@ func Fig5Fractions(alg join.Algorithm) []float64 {
 }
 
 // Fig5Options tunes one panel run. The zero value selects the paper's
-// fractions with no per-point instrumentation.
+// fractions with no per-point instrumentation, running points across
+// GOMAXPROCS host workers.
 type Fig5Options struct {
 	// Fractions overrides the panel's memory fractions (nil selects
 	// Fig5Fractions for the algorithm).
 	Fractions []float64
-	// Instrument, when non-nil, is called before each point and returns
-	// the telemetry registry to attach to that point's run (nil attaches
-	// none).
+	// Parallelism is the number of host workers running points (see
+	// Options.Parallelism; zero selects GOMAXPROCS). Whatever the
+	// setting, results, Instrument, and OnPoint keep panel order and the
+	// simulated numbers are identical to a sequential run.
+	Parallelism int
+	// Instrument, when non-nil, is called for each point and returns the
+	// telemetry registry to attach to that point's run (nil attaches
+	// none). Sequential sweeps interleave it with the points; parallel
+	// sweeps call it for every fraction up front, in panel order, always
+	// from the calling goroutine.
 	Instrument func(frac float64) *metrics.Registry
-	// OnPoint, when non-nil, is called after each point with its
-	// comparison and the registry Instrument returned (nil without
-	// Instrument). Returning an error aborts the sweep.
+	// OnPoint, when non-nil, is called after each point — in panel
+	// order, from the calling goroutine — with its comparison and the
+	// registry Instrument returned (nil without Instrument). Returning
+	// an error aborts the sweep: no new points start, though points
+	// already in flight on other workers run to completion.
 	OnPoint func(c core.Comparison, reg *metrics.Registry) error
 }
 
@@ -63,24 +73,37 @@ func Fig5(e *core.Experiment, alg join.Algorithm, opts Fig5Options) ([]core.Comp
 	if fracs == nil {
 		fracs = Fig5Fractions(alg)
 	}
-	out := make([]core.Comparison, 0, len(fracs))
-	for _, f := range fracs {
-		prm := e.ParamsForFraction(f)
-		var reg *metrics.Registry
-		if opts.Instrument != nil {
-			reg = opts.Instrument(f)
-			prm.Metrics = reg
+	o := Options{Parallelism: opts.Parallelism}
+	n := len(fracs)
+	out := make([]core.Comparison, n)
+	regs := make([]*metrics.Registry, n)
+	sequential := o.workers(n) == 1
+	if opts.Instrument != nil && !sequential {
+		for i, f := range fracs {
+			regs[i] = opts.Instrument(f)
 		}
+	}
+	err := forEach(o, n, func(i int) error {
+		f := fracs[i]
+		prm := e.ParamsForFraction(f)
+		if opts.Instrument != nil && sequential {
+			regs[i] = opts.Instrument(f)
+		}
+		prm.Metrics = regs[i]
 		c, err := e.Compare(alg, prm)
 		if err != nil {
-			return nil, fmt.Errorf("sweep: %v at %.3f: %w", alg, f, err)
+			return fmt.Errorf("sweep: %v at %.3f: %w", alg, f, err)
 		}
-		if opts.OnPoint != nil {
-			if err := opts.OnPoint(*c, reg); err != nil {
-				return nil, err
-			}
+		out[i] = *c
+		return nil
+	}, func(i int) error {
+		if opts.OnPoint == nil {
+			return nil
 		}
-		out = append(out, *c)
+		return opts.OnPoint(out[i], regs[i])
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -88,8 +111,8 @@ func Fig5(e *core.Experiment, alg join.Algorithm, opts Fig5Options) ([]core.Comp
 // Memory runs Compare across the given memory fractions (Fig. 5's
 // procedure without instrumentation). A nil fracs selects the paper's
 // panel for the algorithm.
-func Memory(e *core.Experiment, alg join.Algorithm, fracs []float64) ([]core.Comparison, error) {
-	return Fig5(e, alg, Fig5Options{Fractions: fracs})
+func Memory(e *core.Experiment, alg join.Algorithm, fracs []float64, opts ...Options) ([]core.Comparison, error) {
+	return Fig5(e, alg, Fig5Options{Fractions: fracs, Parallelism: opt(opts).Parallelism})
 }
 
 // ContentionVariant is one arm of the §5.1 staggering/synchronization
@@ -118,17 +141,23 @@ type ContentionPoint struct {
 // Contention runs the §5.1 ablation for nested loops at the given memory
 // fraction: pass-1 phase staggering on/off and per-phase synchronization
 // on/off. The first returned point is the paper's variant.
-func Contention(e *core.Experiment, frac float64) ([]ContentionPoint, error) {
-	out := make([]ContentionPoint, 0, 3)
-	for _, v := range ContentionVariants() {
+func Contention(e *core.Experiment, frac float64, opts ...Options) ([]ContentionPoint, error) {
+	vs := ContentionVariants()
+	out := make([]ContentionPoint, len(vs))
+	err := forEach(opt(opts), len(vs), func(i int) error {
+		v := vs[i]
 		prm := e.ParamsForFraction(frac)
 		prm.Stagger = v.Stagger
 		prm.SyncPhases = v.SyncPhase
 		res, err := e.Measure(join.NestedLoops, prm)
 		if err != nil {
-			return nil, fmt.Errorf("sweep: contention %q: %w", v.Name, err)
+			return fmt.Errorf("sweep: contention %q: %w", v.Name, err)
 		}
-		out = append(out, ContentionPoint{ContentionVariant: v, Elapsed: res.Elapsed})
+		out[i] = ContentionPoint{ContentionVariant: v, Elapsed: res.Elapsed}
+		return nil
+	}, nil)
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -137,23 +166,31 @@ func Contention(e *core.Experiment, frac float64) ([]ContentionPoint, error) {
 // problem size fixed, returning elapsed times keyed by D — the paper's
 // planned speedup experiment (§9).
 func Speedup(base machine.Config, spec relation.Spec, alg join.Algorithm,
-	ds []int, memFrac float64) (map[int]sim.Time, error) {
-	out := make(map[int]sim.Time, len(ds))
-	for _, d := range ds {
+	ds []int, memFrac float64, opts ...Options) (map[int]sim.Time, error) {
+	times := make([]sim.Time, len(ds))
+	err := forEach(opt(opts), len(ds), func(i int) error {
 		cfg := base
-		cfg.D = d
+		cfg.D = ds[i]
 		sp := spec
-		sp.D = d
+		sp.D = ds[i]
 		w, err := relation.Generate(sp)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		mem := int64(memFrac * float64(int64(sp.NR)*int64(sp.RSize)))
 		res, err := join.Run(alg, cfg, join.Params{Workload: w, MRproc: mem, Stagger: true})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out[d] = res.Elapsed
+		times[i] = res.Elapsed
+		return nil
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]sim.Time, len(ds))
+	for i, d := range ds {
+		out[d] = times[i]
 	}
 	return out, nil
 }
@@ -161,9 +198,10 @@ func Speedup(base machine.Config, spec relation.Spec, alg join.Algorithm,
 // Scaleup grows the problem with D (NR = NS = perPartition·D) and returns
 // elapsed times keyed by D; flat times mean perfect scaleup.
 func Scaleup(base machine.Config, spec relation.Spec, alg join.Algorithm,
-	ds []int, perPartition int, memFrac float64) (map[int]sim.Time, error) {
-	out := make(map[int]sim.Time, len(ds))
-	for _, d := range ds {
+	ds []int, perPartition int, memFrac float64, opts ...Options) (map[int]sim.Time, error) {
+	times := make([]sim.Time, len(ds))
+	err := forEach(opt(opts), len(ds), func(i int) error {
+		d := ds[i]
 		cfg := base
 		cfg.D = d
 		sp := spec
@@ -172,14 +210,22 @@ func Scaleup(base machine.Config, spec relation.Spec, alg join.Algorithm,
 		sp.NS = perPartition * d
 		w, err := relation.Generate(sp)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		mem := int64(memFrac * float64(int64(sp.NR)*int64(sp.RSize)))
 		res, err := join.Run(alg, cfg, join.Params{Workload: w, MRproc: mem, Stagger: true})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out[d] = res.Elapsed
+		times[i] = res.Elapsed
+		return nil
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]sim.Time, len(ds))
+	for i, d := range ds {
+		out[d] = times[i]
 	}
 	return out, nil
 }
@@ -195,7 +241,7 @@ type DistPoint struct {
 // Dist runs every algorithm across reference distributions at the given
 // memory fraction, reporting measured times and workload skew.
 func Dist(cfg machine.Config, base relation.Spec, algs []join.Algorithm,
-	memFrac float64) ([]DistPoint, error) {
+	memFrac float64, opts ...Options) ([]DistPoint, error) {
 	specs := []relation.Spec{base}
 	zipf := base
 	zipf.Dist = relation.Zipf
@@ -208,11 +254,12 @@ func Dist(cfg machine.Config, base relation.Spec, algs []join.Algorithm,
 	hot.HotFrac = 0.4
 	specs = append(specs, zipf, local, hot)
 
-	out := make([]DistPoint, 0, len(specs))
-	for _, spec := range specs {
+	out := make([]DistPoint, len(specs))
+	err := forEach(opt(opts), len(specs), func(i int) error {
+		spec := specs[i]
 		w, err := relation.Generate(spec)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		mem := int64(memFrac * float64(int64(spec.NR)*int64(spec.RSize)))
 		pt := DistPoint{Dist: spec.Dist, Skew: w.Skew(), Measured: map[join.Algorithm]sim.Time{}}
@@ -220,14 +267,18 @@ func Dist(cfg machine.Config, base relation.Spec, algs []join.Algorithm,
 		for _, alg := range algs {
 			res, err := join.Run(alg, cfg, join.Params{Workload: w, MRproc: mem, Stagger: true})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if res.Signature != wantSig {
-				return nil, fmt.Errorf("sweep: %v computed a wrong join under %v", alg, spec.Dist)
+				return fmt.Errorf("sweep: %v computed a wrong join under %v", alg, spec.Dist)
 			}
 			pt.Measured[alg] = res.Elapsed
 		}
-		out = append(out, pt)
+		out[i] = pt
+		return nil
+	}, nil)
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,80 @@
+package vm
+
+import (
+	"testing"
+
+	"mmjoin/internal/disk"
+	"mmjoin/internal/seg"
+	"mmjoin/internal/sim"
+)
+
+// benchRun spawns fn as the only simulated process and runs the kernel
+// to completion, closing the drive afterwards.
+func benchRun(b *testing.B, fn func(p *sim.Proc, m *seg.Manager, d *disk.Disk)) {
+	b.Helper()
+	k := sim.NewKernel()
+	cfg := disk.DefaultConfig()
+	d := disk.MustNew(k, "d0", cfg)
+	m := seg.NewManager(seg.NewSystem(seg.DefaultSetupCost()), d)
+	k.Spawn("bench", func(p *sim.Proc) {
+		fn(p, m, d)
+		d.Drain(p)
+		d.Close()
+	})
+	k.Run()
+}
+
+// BenchmarkTouchHit measures the resident fast path: every touch hits and
+// only reorders the replacement list.
+func BenchmarkTouchHit(b *testing.B) {
+	b.ReportAllocs()
+	benchRun(b, func(p *sim.Proc, m *seg.Manager, d *disk.Disk) {
+		const resident = 32
+		pg := New("pg", 2*resident)
+		s := m.Preexisting("s", int64(resident)*int64(d.Config().BlockBytes))
+		for page := 0; page < resident; page++ {
+			pg.TouchPage(p, s, page, false)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pg.TouchPage(p, s, i%resident, false)
+		}
+		b.StopTimer()
+	})
+}
+
+// BenchmarkTouchFaultEvict measures the replacement path: a sequential
+// cycle over four times the frame quota, so every touch faults and must
+// evict a clean victim.
+func BenchmarkTouchFaultEvict(b *testing.B) {
+	b.ReportAllocs()
+	benchRun(b, func(p *sim.Proc, m *seg.Manager, d *disk.Disk) {
+		const frames = 256
+		span := 4 * frames
+		pg := New("pg", frames)
+		s := m.Preexisting("s", int64(span)*int64(d.Config().BlockBytes))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pg.TouchPage(p, s, i%span, false)
+		}
+		b.StopTimer()
+	})
+}
+
+// BenchmarkTouchFaultEvictDirty is the replacement path with every page
+// dirtied, exercising the clean-victim preference search and the pageout
+// hand-off on each eviction.
+func BenchmarkTouchFaultEvictDirty(b *testing.B) {
+	b.ReportAllocs()
+	benchRun(b, func(p *sim.Proc, m *seg.Manager, d *disk.Disk) {
+		const frames = 256
+		span := 4 * frames
+		pg := New("pg", frames)
+		s := m.Preexisting("s", int64(span)*int64(d.Config().BlockBytes))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pg.TouchPage(p, s, i%span, true)
+		}
+		b.StopTimer()
+	})
+}

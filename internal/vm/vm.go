@@ -11,7 +11,6 @@
 package vm
 
 import (
-	"container/list"
 	"fmt"
 
 	"mmjoin/internal/metrics"
@@ -66,22 +65,94 @@ type pageKey struct {
 	page int
 }
 
+// frame is one resident page, threaded on the pager's intrusive
+// replacement list. Frames are recycled through a free list on eviction,
+// so the steady-state fault path allocates nothing.
 type frame struct {
 	key        pageKey
 	dirty      bool
 	referenced bool // Clock's second-chance bit
+	prev, next *frame
 }
 
 // Pager is one process's private memory. The frame quota models MRproc/B.
+//
+// Residency is indexed by an O(1) map; replacement order is an intrusive
+// doubly-linked list (head = most recent for LRU, newest-loaded for
+// FIFO/Clock; tail = eviction end), so Touch does no list scans and no
+// per-page allocations once the free list is primed.
 type Pager struct {
-	name      string
-	frames    int
-	policy    Policy
-	reserved  int // frames pinned by in-memory structures (hash tables, heaps)
-	resident  map[pageKey]*list.Element
-	lru       *list.List // front = most recent (LRU) / newest-loaded (FIFO, Clock)
-	prefDepth int        // how far from the LRU end to search for a clean victim
-	stats     Stats
+	name       string
+	frames     int
+	policy     Policy
+	reserved   int // frames pinned by in-memory structures (hash tables, heaps)
+	resident   map[pageKey]*frame
+	head, tail *frame // replacement list: head = most recent, tail = eviction end
+	count      int    // resident pages (length of the list)
+	free       *frame // recycled frames, chained via next
+	prefDepth  int    // how far from the LRU end to search for a clean victim
+	stats      Stats
+}
+
+// pushFront links fr at the head of the replacement list.
+func (pg *Pager) pushFront(fr *frame) {
+	fr.prev = nil
+	fr.next = pg.head
+	if pg.head != nil {
+		pg.head.prev = fr
+	}
+	pg.head = fr
+	if pg.tail == nil {
+		pg.tail = fr
+	}
+	pg.count++
+}
+
+// unlink removes fr from the replacement list.
+func (pg *Pager) unlink(fr *frame) {
+	if fr.prev != nil {
+		fr.prev.next = fr.next
+	} else {
+		pg.head = fr.next
+	}
+	if fr.next != nil {
+		fr.next.prev = fr.prev
+	} else {
+		pg.tail = fr.prev
+	}
+	fr.prev, fr.next = nil, nil
+	pg.count--
+}
+
+// moveToFront makes fr the most recently used frame.
+func (pg *Pager) moveToFront(fr *frame) {
+	if pg.head == fr {
+		return
+	}
+	pg.unlink(fr)
+	pg.pushFront(fr)
+}
+
+// newFrame takes a frame from the free list or allocates one.
+func (pg *Pager) newFrame(key pageKey, dirty bool) *frame {
+	fr := pg.free
+	if fr != nil {
+		pg.free = fr.next
+		fr.next = nil
+	} else {
+		fr = &frame{}
+	}
+	fr.key = key
+	fr.dirty = dirty
+	fr.referenced = false
+	return fr
+}
+
+// recycle clears fr (releasing its segment pointer) and returns it to
+// the free list.
+func (pg *Pager) recycle(fr *frame) {
+	*fr = frame{next: pg.free}
+	pg.free = fr
 }
 
 // New creates an LRU pager with the given frame quota.
@@ -98,8 +169,7 @@ func NewWithPolicy(name string, frames int, policy Policy) *Pager {
 		name:     name,
 		frames:   frames,
 		policy:   policy,
-		resident: make(map[pageKey]*list.Element),
-		lru:      list.New(),
+		resident: make(map[pageKey]*frame),
 	}
 	p.prefDepth = frames / 8
 	if p.prefDepth < 4 {
@@ -118,7 +188,7 @@ func (pg *Pager) Name() string { return pg.name }
 func (pg *Pager) Frames() int { return pg.frames }
 
 // Resident returns the number of resident pages.
-func (pg *Pager) Resident() int { return pg.lru.Len() }
+func (pg *Pager) Resident() int { return pg.count }
 
 // Stats returns a snapshot of the counters.
 func (pg *Pager) Stats() Stats { return pg.stats }
@@ -132,7 +202,7 @@ func (pg *Pager) Instrument(reg *metrics.Registry) {
 		return
 	}
 	n := "vm." + pg.name
-	reg.Gauge(n+".resident", func() float64 { return float64(pg.lru.Len()) })
+	reg.Gauge(n+".resident", func() float64 { return float64(pg.count) })
 	reg.Gauge(n+".reserved", func() float64 { return float64(pg.reserved) })
 	reg.Gauge(n+".faults", func() float64 { return float64(pg.stats.Faults) })
 	reg.Gauge(n+".fault_rate", func() float64 {
@@ -171,7 +241,7 @@ func (pg *Pager) Reserve(p *sim.Proc, n int) int {
 		}
 	}
 	pg.reserved += n
-	for pg.lru.Len() > pg.avail() {
+	for pg.count > pg.avail() {
 		pg.evictOne(p)
 	}
 	return n
@@ -217,12 +287,11 @@ func (pg *Pager) TouchPage(p *sim.Proc, s *seg.Segment, page int, write bool) {
 func (pg *Pager) touchPage(p *sim.Proc, s *seg.Segment, page int, write bool) {
 	pg.stats.Touches++
 	key := pageKey{seg: s, page: page}
-	if el, ok := pg.resident[key]; ok {
+	if fr, ok := pg.resident[key]; ok {
 		pg.stats.Hits++
-		fr := el.Value.(*frame)
 		switch pg.policy {
 		case LRU:
-			pg.lru.MoveToFront(el)
+			pg.moveToFront(fr)
 		case Clock:
 			fr.referenced = true
 		case FIFO:
@@ -234,7 +303,7 @@ func (pg *Pager) touchPage(p *sim.Proc, s *seg.Segment, page int, write bool) {
 		return
 	}
 	pg.stats.Faults++
-	for pg.lru.Len() >= pg.avail() {
+	for pg.count >= pg.avail() {
 		pg.evictOne(p)
 	}
 	if s.OnDisk(page) {
@@ -243,8 +312,9 @@ func (pg *Pager) touchPage(p *sim.Proc, s *seg.Segment, page int, write bool) {
 	} else {
 		pg.stats.ZeroFills++
 	}
-	el := pg.lru.PushFront(&frame{key: key, dirty: write})
-	pg.resident[key] = el
+	fr := pg.newFrame(key, write)
+	pg.pushFront(fr)
+	pg.resident[key] = fr
 }
 
 // evictOne removes one resident page according to the policy. LRU and
@@ -253,55 +323,53 @@ func (pg *Pager) touchPage(p *sim.Proc, s *seg.Segment, page int, write bool) {
 // pages a second chance. A dirty victim is queued on its disk's pageout
 // daemon.
 func (pg *Pager) evictOne(p *sim.Proc) {
-	if pg.lru.Len() == 0 {
+	if pg.count == 0 {
 		panic(fmt.Sprintf("vm: %s evict with no resident pages", pg.name))
 	}
-	var victim *list.Element
+	var victim *frame
 	switch pg.policy {
 	case Clock:
 		// Sweep from the oldest end, clearing reference bits.
 		for {
-			el := pg.lru.Back()
-			fr := el.Value.(*frame)
+			fr := pg.tail
 			if fr.referenced {
 				fr.referenced = false
-				pg.lru.MoveToFront(el)
+				pg.moveToFront(fr)
 				continue
 			}
-			victim = el
+			victim = fr
 			break
 		}
 	default: // LRU, FIFO: clean-page preference near the eviction end
 		depth := 0
-		for el := pg.lru.Back(); el != nil && depth < pg.prefDepth; el = el.Prev() {
-			if !el.Value.(*frame).dirty {
-				victim = el
+		for fr := pg.tail; fr != nil && depth < pg.prefDepth; fr = fr.prev {
+			if !fr.dirty {
+				victim = fr
 				break
 			}
 			depth++
 		}
 		if victim == nil {
-			victim = pg.lru.Back()
-		} else if victim != pg.lru.Back() {
+			victim = pg.tail
+		} else if victim != pg.tail {
 			pg.stats.CleanPrefHits++
 		}
 	}
-	fr := victim.Value.(*frame)
-	pg.lru.Remove(victim)
-	delete(pg.resident, fr.key)
+	pg.unlink(victim)
+	delete(pg.resident, victim.key)
 	pg.stats.Evictions++
-	if fr.dirty {
+	if victim.dirty {
 		pg.stats.DirtyEvicts++
-		fr.key.seg.MarkOnDisk(fr.key.page)
-		fr.key.seg.Disk().ScheduleWrite(p, fr.key.seg.Block(fr.key.page))
+		victim.key.seg.MarkOnDisk(victim.key.page)
+		victim.key.seg.Disk().ScheduleWrite(p, victim.key.seg.Block(victim.key.page))
 	}
+	pg.recycle(victim)
 }
 
 // FlushSegment writes back all dirty resident pages of s (without
 // evicting them) so that the segment's on-disk image is complete.
 func (pg *Pager) FlushSegment(p *sim.Proc, s *seg.Segment) {
-	for el := pg.lru.Front(); el != nil; el = el.Next() {
-		fr := el.Value.(*frame)
+	for fr := pg.head; fr != nil; fr = fr.next {
 		if fr.key.seg == s && fr.dirty {
 			fr.dirty = false
 			pg.stats.DirtyFlushed++
@@ -314,20 +382,20 @@ func (pg *Pager) FlushSegment(p *sim.Proc, s *seg.Segment) {
 // DropSegment discards all resident pages of s without write-back; used
 // when a mapping is deleted together with its data.
 func (pg *Pager) DropSegment(s *seg.Segment) {
-	var next *list.Element
-	for el := pg.lru.Front(); el != nil; el = next {
-		next = el.Next()
-		if el.Value.(*frame).key.seg == s {
-			delete(pg.resident, el.Value.(*frame).key)
-			pg.lru.Remove(el)
+	var next *frame
+	for fr := pg.head; fr != nil; fr = next {
+		next = fr.next
+		if fr.key.seg == s {
+			delete(pg.resident, fr.key)
+			pg.unlink(fr)
+			pg.recycle(fr)
 		}
 	}
 }
 
 // FlushAll writes back every dirty resident page.
 func (pg *Pager) FlushAll(p *sim.Proc) {
-	for el := pg.lru.Front(); el != nil; el = el.Next() {
-		fr := el.Value.(*frame)
+	for fr := pg.head; fr != nil; fr = fr.next {
 		if fr.dirty {
 			fr.dirty = false
 			pg.stats.DirtyFlushed++
@@ -346,20 +414,25 @@ func (pg *Pager) CheckInvariants() error {
 	if pg.reserved < 0 || pg.reserved >= pg.frames {
 		return fmt.Errorf("vm: %s reserved %d outside [0, %d)", pg.name, pg.reserved, pg.frames)
 	}
-	if pg.lru.Len() > pg.avail() {
+	if pg.count > pg.avail() {
 		return fmt.Errorf("vm: %s resident %d exceeds quota %d (frames %d − reserved %d)",
-			pg.name, pg.lru.Len(), pg.avail(), pg.frames, pg.reserved)
+			pg.name, pg.count, pg.avail(), pg.frames, pg.reserved)
 	}
-	if pg.lru.Len() != len(pg.resident) {
+	if pg.count != len(pg.resident) {
 		return fmt.Errorf("vm: %s LRU list has %d pages but index has %d",
-			pg.name, pg.lru.Len(), len(pg.resident))
+			pg.name, pg.count, len(pg.resident))
 	}
-	for el := pg.lru.Front(); el != nil; el = el.Next() {
-		key := el.Value.(*frame).key
-		if got, ok := pg.resident[key]; !ok || got != el {
+	listed := 0
+	for fr := pg.head; fr != nil; fr = fr.next {
+		listed++
+		if got, ok := pg.resident[fr.key]; !ok || got != fr {
 			return fmt.Errorf("vm: %s page %s[%d] on LRU list but not indexed",
-				pg.name, key.seg.Name(), key.page)
+				pg.name, fr.key.seg.Name(), fr.key.page)
 		}
+	}
+	if listed != pg.count {
+		return fmt.Errorf("vm: %s list walk found %d pages but count is %d",
+			pg.name, listed, pg.count)
 	}
 	if st := pg.stats; st.Faults != st.DiskReads+st.ZeroFills {
 		return fmt.Errorf("vm: %s faults %d != disk reads %d + zero fills %d",
