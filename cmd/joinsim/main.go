@@ -23,6 +23,7 @@ import (
 	"mmjoin/internal/join"
 	"mmjoin/internal/machine"
 	"mmjoin/internal/metrics"
+	"mmjoin/internal/planner"
 	"mmjoin/internal/relation"
 	"mmjoin/internal/sim"
 	"mmjoin/internal/trace"
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	algName := flag.String("alg", "grace", "algorithm: nested-loops, sort-merge, grace, hybrid-hash")
+	algName := flag.String("alg", "grace", "algorithm: auto (planner-chosen), nested-loops, sort-merge, grace, hybrid-hash")
 	memFrac := flag.Float64("mem-frac", 0.05, "MRproc as a fraction of |R| bytes")
 	objects := flag.Int("objects", 102400, "objects per relation")
 	d := flag.Int("d", 4, "disks / process pairs")
@@ -45,10 +46,15 @@ func main() {
 	metricsTick := flag.Int64("metrics-tick-ms", 0, "gauge sampling interval in virtual ms (0: default 100)")
 	flag.Parse()
 
-	alg, ok := parseAlg(*algName)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "joinsim: unknown algorithm %q\n", *algName)
-		os.Exit(2)
+	var alg join.Algorithm
+	auto := *algName == "auto"
+	if !auto {
+		var ok bool
+		alg, ok = parseAlg(*algName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "joinsim: unknown algorithm %q\n", *algName)
+			os.Exit(2)
+		}
 	}
 	cfg := machine.DefaultConfig()
 	cfg.D = *d
@@ -89,6 +95,21 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "joinsim: unknown policy %q\n", *policy)
 		os.Exit(2)
+	}
+
+	if auto {
+		// Plan the request before executing it: the planner costs every
+		// candidate analytically from the same Request that will run.
+		choice, err := planner.New(e.Calib, nil).ChooseFor(e.Request(0, prm))
+		if err != nil {
+			fatal(err)
+		}
+		alg = choice.Best.Algorithm
+		fmt.Println("planner choice (cheapest first):")
+		for _, c := range choice.Candidates {
+			fmt.Printf("  %-14s %10.1fs\n", c.Algorithm, c.Predicted.Seconds())
+		}
+		fmt.Println()
 	}
 
 	var tl *trace.Log

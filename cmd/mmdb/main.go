@@ -6,18 +6,29 @@
 // Usage:
 //
 //	mmdb create -dir DIR [-objects N] [-d D] [-objsize B] [-seed N]
-//	mmdb join   -dir DIR [-alg all|nested-loops|sort-merge|grace] [-k K]
+//	mmdb join   -dir DIR [-alg all|auto|nested-loops|sort-merge|grace|hybrid-hash] [-k K] [-mrproc B]
 //	mmdb bench  -dir DIR [-runs N]
+//	mmdb serve  -dir DIR [-addr :PORT] [-membudget B] [-maxqueue N]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
-	"path/filepath"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"mmjoin/internal/join"
+	"mmjoin/internal/machine"
+	"mmjoin/internal/model"
 	"mmjoin/internal/mstore"
+	"mmjoin/internal/planner"
+	"mmjoin/internal/service"
 )
 
 func main() {
@@ -33,14 +44,73 @@ func main() {
 		cmdBench(os.Args[2:])
 	case "verify":
 		cmdVerify(os.Args[2:])
+	case "serve":
+		cmdServe(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mmdb create|join|bench|verify [flags]")
+	fmt.Fprintln(os.Stderr, "usage: mmdb create|join|bench|verify|serve [flags]")
 	os.Exit(2)
+}
+
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	dir := fs.String("dir", "", "database directory")
+	d := fs.Int("d", 4, "partitions the database was created with")
+	addr := fs.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+	budget := fs.Int64("membudget", 0, "total join-memory budget, bytes (0: default)")
+	grant := fs.Int64("grant", 0, "default per-request memory grant, bytes (0: default)")
+	maxQueue := fs.Int("maxqueue", 0, "admission queue bound (0: default, <0: no queue)")
+	timeout := fs.Duration("timeout", 0, "per-request timeout (0: default)")
+	calOps := fs.Int("calops", 0, "planner calibration effort (0: default)")
+	drainWait := fs.Duration("drainwait", 30*time.Second, "graceful drain limit on SIGTERM")
+	fs.Parse(args)
+	if *dir == "" {
+		fatal(fmt.Errorf("serve: -dir required"))
+	}
+
+	s, err := service.New(service.Config{
+		Dir: *dir, D: *d,
+		MemBudget: *budget, DefaultGrant: *grant, MaxQueue: *maxQueue,
+		RequestTimeout: *timeout, CalibrationOps: *calOps,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer s.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	fmt.Printf("mmdb: serving %s on http://%s (POST /join, GET /lookup /stats /healthz)\n",
+		*dir, ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+	fmt.Println("mmdb: draining…")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "mmdb:", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "mmdb:", err)
+	}
+	fmt.Println("mmdb: drained, bye")
 }
 
 func cmdVerify(args []string) {
@@ -87,12 +157,18 @@ func cmdCreate(args []string) {
 		*objects, *objects, *objSize, *d, time.Since(start).Round(time.Millisecond))
 }
 
+// realAlgorithms are the pointer-based plans the mapped store executes.
+var realAlgorithms = []join.Algorithm{
+	join.NestedLoops, join.SortMerge, join.Grace, join.HybridHash,
+}
+
 func cmdJoin(args []string) {
 	fs := flag.NewFlagSet("join", flag.ExitOnError)
 	dir := fs.String("dir", "", "database directory")
-	alg := fs.String("alg", "all", "algorithm: all, nested-loops, sort-merge, grace, hybrid-hash")
+	alg := fs.String("alg", "all", "algorithm: all, auto (planner-chosen), nested-loops, sort-merge, grace, hybrid-hash")
 	d := fs.Int("d", 4, "partitions the database was created with")
-	k := fs.Int("k", 16, "Grace bucket count")
+	k := fs.Int("k", 0, "Grace bucket count (0: derive from -mrproc)")
+	mrproc := fs.Int64("mrproc", 1<<20, "private memory grant per partition goroutine, bytes")
 	fs.Parse(args)
 	if *dir == "" {
 		fatal(fmt.Errorf("join: -dir required"))
@@ -103,11 +179,10 @@ func cmdJoin(args []string) {
 	}
 	defer db.Close()
 	want := db.ExpectedStats()
-	tmp := filepath.Join(*dir, "tmp")
 
-	run := func(name string, fn func() (mstore.JoinStats, error)) {
+	run := func(a join.Algorithm) {
 		start := time.Now()
-		st, err := fn()
+		st, err := db.Run(mstore.JoinRequest{Algorithm: a, MRproc: *mrproc, K: *k})
 		if err != nil {
 			fatal(err)
 		}
@@ -116,19 +191,34 @@ func cmdJoin(args []string) {
 			ok = "MISMATCH"
 		}
 		fmt.Printf("%-12s  %8d pairs  %10v  verification %s\n",
-			name, st.Pairs, time.Since(start).Round(time.Microsecond), ok)
+			a, st.Pairs, time.Since(start).Round(time.Microsecond), ok)
 	}
-	if *alg == "all" || *alg == "nested-loops" {
-		run("nested-loops", func() (mstore.JoinStats, error) { return db.NestedLoops(tmp) })
+	if *alg == "auto" {
+		// Cost this exact database (its measured pointer distribution)
+		// through the calibrated analytical model and run the winner.
+		w, err := db.Workload()
+		if err != nil {
+			fatal(err)
+		}
+		mcfg := machine.DefaultConfig()
+		mcfg.D = *d
+		choice, err := planner.New(model.Calibrate(mcfg, 400, 1), nil).ChooseFor(join.Request{
+			Config: mcfg,
+			Params: join.Params{Workload: w, MRproc: *mrproc, K: *k},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		for _, c := range choice.Candidates {
+			fmt.Printf("  plan: %-16s predicted %v\n", c.Algorithm, time.Duration(c.Predicted))
+		}
+		run(choice.Best.Algorithm)
+		return
 	}
-	if *alg == "all" || *alg == "sort-merge" {
-		run("sort-merge", func() (mstore.JoinStats, error) { return db.SortMerge(tmp) })
-	}
-	if *alg == "all" || *alg == "grace" {
-		run("grace", func() (mstore.JoinStats, error) { return db.Grace(tmp, *k) })
-	}
-	if *alg == "all" || *alg == "hybrid-hash" {
-		run("hybrid-hash", func() (mstore.JoinStats, error) { return db.HybridHash(tmp, *k, 0.5) })
+	for _, a := range realAlgorithms {
+		if *alg == "all" || *alg == a.String() {
+			run(a)
+		}
 	}
 }
 
@@ -137,7 +227,8 @@ func cmdBench(args []string) {
 	dir := fs.String("dir", "", "database directory")
 	d := fs.Int("d", 4, "partitions")
 	runs := fs.Int("runs", 3, "repetitions per algorithm")
-	k := fs.Int("k", 16, "Grace bucket count")
+	k := fs.Int("k", 0, "Grace bucket count (0: derive from -mrproc)")
+	mrproc := fs.Int64("mrproc", 1<<20, "private memory grant per partition goroutine, bytes")
 	fs.Parse(args)
 	if *dir == "" {
 		fatal(fmt.Errorf("bench: -dir required"))
@@ -147,25 +238,20 @@ func cmdBench(args []string) {
 		fatal(err)
 	}
 	defer db.Close()
-	tmp := filepath.Join(*dir, "tmp")
 
-	bench := func(name string, fn func() (mstore.JoinStats, error)) {
+	for _, a := range realAlgorithms {
 		best := time.Duration(1<<63 - 1)
 		for r := 0; r < *runs; r++ {
 			start := time.Now()
-			if _, err := fn(); err != nil {
+			if _, err := db.Run(mstore.JoinRequest{Algorithm: a, MRproc: *mrproc, K: *k}); err != nil {
 				fatal(err)
 			}
 			if el := time.Since(start); el < best {
 				best = el
 			}
 		}
-		fmt.Printf("%-12s  best of %d: %v\n", name, *runs, best.Round(time.Microsecond))
+		fmt.Printf("%-12s  best of %d: %v\n", a, *runs, best.Round(time.Microsecond))
 	}
-	bench("nested-loops", func() (mstore.JoinStats, error) { return db.NestedLoops(tmp) })
-	bench("sort-merge", func() (mstore.JoinStats, error) { return db.SortMerge(tmp) })
-	bench("grace", func() (mstore.JoinStats, error) { return db.Grace(tmp, *k) })
-	bench("hybrid-hash", func() (mstore.JoinStats, error) { return db.HybridHash(tmp, *k, 0.5) })
 }
 
 func fatal(err error) {

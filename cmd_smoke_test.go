@@ -5,10 +5,14 @@ package mmjoin
 // headline output. Skipped under -short.
 
 import (
+	"bufio"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 )
 
@@ -147,8 +151,67 @@ func TestCmdMmdbSmoke(t *testing.T) {
 	if !strings.Contains(out, "best of 1") {
 		t.Errorf("bench output:\n%s", out)
 	}
+	// Planner-chosen algorithm prints the candidate table and verifies.
+	out = runCmd(t, bin, "join", "-dir", dir, "-alg", "auto")
+	if !strings.Contains(out, "plan:") || strings.Contains(out, "MISMATCH") {
+		t.Errorf("auto join output:\n%s", out)
+	}
 	// Missing -dir fails.
 	if err := exec.Command(bin, "join").Run(); err == nil {
 		t.Error("missing -dir accepted")
+	}
+}
+
+// TestCmdMmdbServeSmoke drives the query service end to end: start on an
+// ephemeral port, one planner-chosen join round-trip over HTTP, then a
+// SIGTERM graceful drain.
+func TestCmdMmdbServeSmoke(t *testing.T) {
+	bin := buildCmd(t, "mmdb")
+	dir := filepath.Join(t.TempDir(), "db")
+	runCmd(t, bin, "create", "-dir", dir, "-objects", "5000")
+
+	cmd := exec.Command(bin, "serve", "-dir", dir, "-addr", "127.0.0.1:0", "-calops", "60")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The first line announces the bound address.
+	rd := bufio.NewReader(stdout)
+	line, err := rd.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading serve banner: %v", err)
+	}
+	i := strings.Index(line, "http://")
+	j := strings.Index(line[i:], " ")
+	if i < 0 || j < 0 {
+		t.Fatalf("no address in banner %q", line)
+	}
+	base := line[i : i+j]
+
+	resp, err := http.Post(base+"/join", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"pairs": 5000`) {
+		t.Fatalf("join round-trip: status %d body %s", resp.StatusCode, body)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	rest, _ := io.ReadAll(rd)
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("serve exit: %v\n%s", err, rest)
+	}
+	if !strings.Contains(string(rest), "drained") {
+		t.Fatalf("no graceful drain in output:\n%s", rest)
 	}
 }

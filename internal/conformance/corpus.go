@@ -73,9 +73,11 @@ func (e CorpusEntry) Run() (*join.Result, *relation.Workload, error) {
 		return nil, nil, fmt.Errorf("conformance: corpus %s: %w", e.Name, err)
 	}
 	mem := int64(e.Frac * float64(int64(e.Objects)*int64(w.Spec.RSize)))
-	res, err := join.Run(e.Alg, cfg, join.Params{
-		Workload: w, MRproc: mem, Stagger: true, Policy: e.Policy,
-	})
+	res, err := join.Request{
+		Algorithm: e.Alg,
+		Config:    cfg,
+		Params:    join.Params{Workload: w, MRproc: mem, Stagger: true, Policy: e.Policy},
+	}.Run()
 	if err != nil {
 		return nil, nil, fmt.Errorf("conformance: corpus %s: %w", e.Name, err)
 	}

@@ -45,11 +45,15 @@ func TestVirtualTimeDeterminism(t *testing.T) {
 		cfg := smallConfig(4)
 		w := relation.MustGenerate(smallSpec(4000, 4, 3))
 		run := func() *join.Result {
-			return join.MustRun(alg, cfg, join.Params{
-				Workload: w,
-				MRproc:   int64(0.04 * float64(int64(4000)*int64(w.Spec.RSize))),
-				Stagger:  true,
-			})
+			return join.Request{
+				Algorithm: alg,
+				Config:    cfg,
+				Params: join.Params{
+					Workload: w,
+					MRproc:   int64(0.04 * float64(int64(4000)*int64(w.Spec.RSize))),
+					Stagger:  true,
+				},
+			}.MustRun()
 		}
 		a, b := run(), run()
 		if !reflect.DeepEqual(a, b) {
@@ -106,7 +110,7 @@ func TestRunInvariantsAcrossRandomConfigs(t *testing.T) {
 			Stagger:  rng.Intn(2) == 0,
 			Policy:   policies[rng.Intn(len(policies))],
 		}
-		res, err := join.Run(alg, smallConfig(d), prm)
+		res, err := join.Request{Algorithm: alg, Config: smallConfig(d), Params: prm}.Run()
 		if err != nil {
 			t.Fatalf("trial %d: %v D=%d frac=%.3f: %v", trial, alg, d, frac, err)
 		}
@@ -129,10 +133,10 @@ func TestObserverNeutrality(t *testing.T) {
 		Stagger:  true,
 	}
 	for _, alg := range []join.Algorithm{join.NestedLoops, join.Grace} {
-		plain := join.MustRun(alg, cfg, prm)
+		plain := join.Request{Algorithm: alg, Config: cfg, Params: prm}.MustRun()
 		observed := prm
 		observed.Metrics = metrics.New()
-		withObs := join.MustRun(alg, cfg, observed)
+		withObs := join.Request{Algorithm: alg, Config: cfg, Params: observed}.MustRun()
 		if len(observed.Metrics.Samples()) == 0 {
 			t.Fatalf("%v: observer attached but recorded no samples", alg)
 		}

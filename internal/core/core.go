@@ -14,6 +14,7 @@ import (
 	"mmjoin/internal/join"
 	"mmjoin/internal/machine"
 	"mmjoin/internal/model"
+	"mmjoin/internal/planner"
 	"mmjoin/internal/relation"
 	"mmjoin/internal/sim"
 )
@@ -75,31 +76,28 @@ func (e *Experiment) ParamsForFraction(frac float64) join.Params {
 
 // Measure executes the algorithm on a fresh simulated machine.
 func (e *Experiment) Measure(alg join.Algorithm, prm join.Params) (*join.Result, error) {
+	return e.Request(alg, prm).Run()
+}
+
+// Request assembles the fully-specified join request for this
+// experiment's machine, defaulting the workload to the experiment's.
+func (e *Experiment) Request(alg join.Algorithm, prm join.Params) join.Request {
 	if prm.Workload == nil {
 		prm.Workload = e.W
 	}
-	return join.Run(alg, e.Cfg, prm)
+	return join.Request{Algorithm: alg, Config: e.Cfg, Params: prm}
 }
 
 // Inputs converts join parameters into model inputs, using the measured
-// workload skew.
+// workload skew (delegating to planner.InputsFor, the canonical
+// request-to-model bridge).
 func (e *Experiment) Inputs(prm join.Params) model.Inputs {
-	maxDistinct := 0
-	for _, n := range e.W.DistinctRefCounts() {
-		if n > maxDistinct {
-			maxDistinct = n
-		}
+	in, err := planner.InputsFor(e.Request(0, prm))
+	if err != nil {
+		// Unreachable: Request always attaches the experiment's workload.
+		panic(err)
 	}
-	return model.Inputs{
-		NR: int64(e.Spec.NR), NS: int64(e.Spec.NS),
-		R: int64(e.Spec.RSize), S: int64(e.Spec.SSize), Ptr: int64(e.Spec.PtrSize),
-		D:         e.Spec.D,
-		Skew:      e.W.Skew(),
-		DistinctS: int64(maxDistinct),
-		MRproc:    prm.MRproc, MSproc: prm.MSproc, G: prm.G,
-		IRun: prm.IRun, NRunABL: prm.NRunABL, NRunLast: prm.NRunLast,
-		K: prm.K, TSize: prm.TSize, Fuzz: prm.Fuzz,
-	}
+	return in
 }
 
 // Predict evaluates the analytical model for the same configuration.

@@ -233,46 +233,6 @@ func (r *Result) CheckInvariants(w *relation.Workload) error {
 	return nil
 }
 
-// Run executes the chosen algorithm on a fresh machine built from cfg and
-// returns the result. The machine, all processes, and all I/O exist only
-// for this call; runs are deterministic.
-func Run(alg Algorithm, cfg machine.Config, prm Params) (*Result, error) {
-	if err := prm.withDefaults(cfg); err != nil {
-		return nil, err
-	}
-	m, err := machine.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	m.StartMetrics(prm.Metrics, prm.MetricsTick)
-	r := newRunner(m, prm)
-	switch alg {
-	case NestedLoops:
-		r.runNestedLoops()
-	case SortMerge:
-		r.runSortMerge()
-	case Grace:
-		r.runGrace()
-	case HybridHash:
-		r.runHybridHash()
-	case TraditionalGrace:
-		r.runTraditionalGrace()
-	default:
-		return nil, fmt.Errorf("join: unknown algorithm %v", alg)
-	}
-	r.res.Algorithm = alg
-	return &r.res, nil
-}
-
-// MustRun is Run, panicking on error.
-func MustRun(alg Algorithm, cfg machine.Config, prm Params) *Result {
-	res, err := Run(alg, cfg, prm)
-	if err != nil {
-		panic(err)
-	}
-	return res
-}
-
 // runner holds the shared state of one execution. The simulation kernel
 // runs exactly one process at a time, so plain fields are safe.
 type runner struct {

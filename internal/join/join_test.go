@@ -30,11 +30,21 @@ func smallParams(w *relation.Workload, mem int64) Params {
 	return Params{Workload: w, MRproc: mem, Stagger: true}
 }
 
+// run and mustRun execute through the Request API (the deprecated
+// Run/MustRun shims are covered separately in TestDeprecatedShims).
+func run(alg Algorithm, cfg machine.Config, prm Params) (*Result, error) {
+	return Request{Algorithm: alg, Config: cfg, Params: prm}.Run()
+}
+
+func mustRun(alg Algorithm, cfg machine.Config, prm Params) *Result {
+	return Request{Algorithm: alg, Config: cfg, Params: prm}.MustRun()
+}
+
 func TestAllAlgorithmsComputeTheSameJoin(t *testing.T) {
 	w := smallWorkload(4000, 1)
 	wantSig, wantPairs := w.JoinSignature()
 	for _, alg := range []Algorithm{NestedLoops, SortMerge, Grace, HybridHash, TraditionalGrace} {
-		res, err := Run(alg, smallCfg(), smallParams(w, 128<<10))
+		res, err := run(alg, smallCfg(), smallParams(w, 128<<10))
 		if err != nil {
 			t.Fatalf("%v: %v", alg, err)
 		}
@@ -53,8 +63,8 @@ func TestAllAlgorithmsComputeTheSameJoin(t *testing.T) {
 func TestDeterministicRuns(t *testing.T) {
 	w := smallWorkload(2000, 2)
 	for _, alg := range []Algorithm{NestedLoops, SortMerge, Grace, HybridHash, TraditionalGrace} {
-		a := MustRun(alg, smallCfg(), smallParams(w, 96<<10))
-		b := MustRun(alg, smallCfg(), smallParams(w, 96<<10))
+		a := mustRun(alg, smallCfg(), smallParams(w, 96<<10))
+		b := mustRun(alg, smallCfg(), smallParams(w, 96<<10))
 		if a.Elapsed != b.Elapsed || a.DiskReads != b.DiskReads || a.DiskWrites != b.DiskWrites {
 			t.Errorf("%v: non-deterministic: %v/%d/%d vs %v/%d/%d", alg,
 				a.Elapsed, a.DiskReads, a.DiskWrites, b.Elapsed, b.DiskReads, b.DiskWrites)
@@ -65,8 +75,8 @@ func TestDeterministicRuns(t *testing.T) {
 func TestMoreMemoryNeverMuchSlower(t *testing.T) {
 	w := smallWorkload(4000, 3)
 	for _, alg := range []Algorithm{NestedLoops, SortMerge, Grace} {
-		lo := MustRun(alg, smallCfg(), smallParams(w, 64<<10))
-		hi := MustRun(alg, smallCfg(), smallParams(w, 1<<20))
+		lo := mustRun(alg, smallCfg(), smallParams(w, 64<<10))
+		hi := mustRun(alg, smallCfg(), smallParams(w, 1<<20))
 		if float64(hi.Elapsed) > 1.10*float64(lo.Elapsed) {
 			t.Errorf("%v: high-memory run (%v) much slower than low-memory (%v)",
 				alg, hi.Elapsed, lo.Elapsed)
@@ -78,8 +88,8 @@ func TestNestedLoopsMemorySensitivity(t *testing.T) {
 	// Fig 5a: nested loops improves steeply with memory (random S access
 	// becomes cached).
 	w := smallWorkload(6000, 4)
-	lo := MustRun(NestedLoops, smallCfg(), smallParams(w, 64<<10))
-	hi := MustRun(NestedLoops, smallCfg(), smallParams(w, 2<<20))
+	lo := mustRun(NestedLoops, smallCfg(), smallParams(w, 64<<10))
+	hi := mustRun(NestedLoops, smallCfg(), smallParams(w, 2<<20))
 	if float64(lo.Elapsed) < 1.3*float64(hi.Elapsed) {
 		t.Errorf("nested loops not memory sensitive: lo=%v hi=%v", lo.Elapsed, hi.Elapsed)
 	}
@@ -90,7 +100,7 @@ func TestNestedLoopsMemorySensitivity(t *testing.T) {
 
 func TestPhasesRecordedInOrder(t *testing.T) {
 	w := smallWorkload(2000, 5)
-	res := MustRun(SortMerge, smallCfg(), smallParams(w, 96<<10))
+	res := mustRun(SortMerge, smallCfg(), smallParams(w, 96<<10))
 	wantOrder := []string{"setup", "pass0", "pass1", "pass2"}
 	if len(res.Phases) < len(wantOrder) {
 		t.Fatalf("phases: %v", res.Phases)
@@ -114,7 +124,7 @@ func TestSortMergeParameterRules(t *testing.T) {
 	w := smallWorkload(6000, 6)
 	cfg := smallCfg()
 	mem := int64(96 << 10)
-	res := MustRun(SortMerge, cfg, smallParams(w, mem))
+	res := mustRun(SortMerge, cfg, smallParams(w, mem))
 	wantIRun := int(mem / (int64(w.Spec.RSize) + int64(cfg.HeapPtrBytes)))
 	if res.IRun != wantIRun {
 		t.Errorf("IRun = %d, want %d", res.IRun, wantIRun)
@@ -130,8 +140,8 @@ func TestSortMergeParameterRules(t *testing.T) {
 
 func TestSortMergeMorePassesWithLessMemory(t *testing.T) {
 	w := smallWorkload(8000, 7)
-	lo := MustRun(SortMerge, smallCfg(), smallParams(w, 32<<10))
-	hi := MustRun(SortMerge, smallCfg(), smallParams(w, 1<<20))
+	lo := mustRun(SortMerge, smallCfg(), smallParams(w, 32<<10))
+	hi := mustRun(SortMerge, smallCfg(), smallParams(w, 1<<20))
 	if lo.NPass <= hi.NPass {
 		t.Errorf("NPass lo=%d hi=%d: less memory should need more merge passes", lo.NPass, hi.NPass)
 	}
@@ -143,7 +153,7 @@ func TestSortMergeMorePassesWithLessMemory(t *testing.T) {
 func TestGraceParameterRules(t *testing.T) {
 	w := smallWorkload(6000, 8)
 	mem := int64(64 << 10)
-	res := MustRun(Grace, smallCfg(), smallParams(w, mem))
+	res := mustRun(Grace, smallCfg(), smallParams(w, mem))
 	if res.K < 1 {
 		t.Fatalf("K = %d", res.K)
 	}
@@ -162,7 +172,7 @@ func TestGraceParameterRules(t *testing.T) {
 		t.Errorf("TSize = %d", res.TSize)
 	}
 	// More memory ⇒ fewer buckets.
-	big := MustRun(Grace, smallCfg(), smallParams(w, 1<<20))
+	big := mustRun(Grace, smallCfg(), smallParams(w, 1<<20))
 	if big.K > res.K {
 		t.Errorf("K with more memory = %d > %d", big.K, res.K)
 	}
@@ -173,7 +183,7 @@ func TestGraceExplicitKAndTSizeHonored(t *testing.T) {
 	prm := smallParams(w, 128<<10)
 	prm.K = 7
 	prm.TSize = 64
-	res := MustRun(Grace, smallCfg(), prm)
+	res := mustRun(Grace, smallCfg(), prm)
 	if res.K != 7 || res.TSize != 64 {
 		t.Errorf("K=%d TSize=%d, want 7/64", res.K, res.TSize)
 	}
@@ -189,8 +199,8 @@ func TestStaggeringReducesContention(t *testing.T) {
 	stag := smallParams(w, 96<<10)
 	naive := stag
 	naive.Stagger = false
-	a := MustRun(NestedLoops, smallCfg(), stag)
-	b := MustRun(NestedLoops, smallCfg(), naive)
+	a := mustRun(NestedLoops, smallCfg(), stag)
+	b := mustRun(NestedLoops, smallCfg(), naive)
 	if a.Signature != b.Signature {
 		t.Fatal("staggering changed the join result")
 	}
@@ -206,8 +216,8 @@ func TestSyncPhasesCloseToUnsynchronized(t *testing.T) {
 	plain := smallParams(w, 96<<10)
 	synced := plain
 	synced.SyncPhases = true
-	a := MustRun(NestedLoops, smallCfg(), plain)
-	b := MustRun(NestedLoops, smallCfg(), synced)
+	a := mustRun(NestedLoops, smallCfg(), plain)
+	b := mustRun(NestedLoops, smallCfg(), synced)
 	if a.Signature != b.Signature {
 		t.Fatal("synchronization changed the join result")
 	}
@@ -223,8 +233,8 @@ func TestGBufferSizeTradesContextSwitches(t *testing.T) {
 	small.G = 512 // a couple of objects per exchange
 	big := smallParams(w, 256<<10)
 	big.G = 64 << 10
-	a := MustRun(NestedLoops, smallCfg(), small)
-	b := MustRun(NestedLoops, smallCfg(), big)
+	a := mustRun(NestedLoops, smallCfg(), small)
+	b := mustRun(NestedLoops, smallCfg(), big)
 	if a.ContextSwitches <= b.ContextSwitches {
 		t.Errorf("small G should cost more context switches: %d vs %d",
 			a.ContextSwitches, b.ContextSwitches)
@@ -243,7 +253,7 @@ func TestSkewedWorkloadStillCorrect(t *testing.T) {
 	w := relation.MustGenerate(spec)
 	wantSig, wantPairs := w.JoinSignature()
 	for _, alg := range []Algorithm{NestedLoops, SortMerge, Grace} {
-		res := MustRun(alg, smallCfg(), smallParams(w, 96<<10))
+		res := mustRun(alg, smallCfg(), smallParams(w, 96<<10))
 		if res.Signature != wantSig || res.Pairs != wantPairs {
 			t.Errorf("%v wrong result under skew", alg)
 		}
@@ -252,18 +262,18 @@ func TestSkewedWorkloadStillCorrect(t *testing.T) {
 
 func TestErrorCases(t *testing.T) {
 	w := smallWorkload(2000, 14)
-	if _, err := Run(NestedLoops, smallCfg(), Params{Workload: nil, MRproc: 1 << 20}); err == nil {
+	if _, err := run(NestedLoops, smallCfg(), Params{Workload: nil, MRproc: 1 << 20}); err == nil {
 		t.Error("nil workload accepted")
 	}
-	if _, err := Run(NestedLoops, smallCfg(), Params{Workload: w, MRproc: 100}); err == nil {
+	if _, err := run(NestedLoops, smallCfg(), Params{Workload: w, MRproc: 100}); err == nil {
 		t.Error("sub-page memory accepted")
 	}
 	badCfg := smallCfg()
 	badCfg.D = 2 // mismatch with workload D=4
-	if _, err := Run(NestedLoops, badCfg, smallParams(w, 1<<20)); err == nil {
+	if _, err := run(NestedLoops, badCfg, smallParams(w, 1<<20)); err == nil {
 		t.Error("D mismatch accepted")
 	}
-	if _, err := Run(Algorithm(42), smallCfg(), smallParams(w, 1<<20)); err == nil {
+	if _, err := run(Algorithm(42), smallCfg(), smallParams(w, 1<<20)); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
 }
@@ -286,7 +296,7 @@ func TestSingleDiskDegenerate(t *testing.T) {
 	cfg.D = 1
 	wantSig, wantPairs := w.JoinSignature()
 	for _, alg := range []Algorithm{NestedLoops, SortMerge, Grace} {
-		res := MustRun(alg, cfg, smallParams(w, 128<<10))
+		res := mustRun(alg, cfg, smallParams(w, 128<<10))
 		if res.Signature != wantSig || res.Pairs != wantPairs {
 			t.Errorf("%v wrong result with D=1", alg)
 		}
@@ -316,7 +326,7 @@ func TestQuickJoinEquivalence(t *testing.T) {
 		mem := int64(rawMem)%512*1024 + 8192
 		wantSig, wantPairs := w.JoinSignature()
 		for _, alg := range []Algorithm{NestedLoops, SortMerge, Grace, HybridHash, TraditionalGrace} {
-			res := MustRun(alg, smallCfg(), smallParams(w, mem))
+			res := mustRun(alg, smallCfg(), smallParams(w, mem))
 			if res.Signature != wantSig || res.Pairs != wantPairs {
 				return false
 			}
@@ -332,7 +342,7 @@ func TestHybridHashMatchesOtherAlgorithms(t *testing.T) {
 	w := smallWorkload(4000, 21)
 	wantSig, wantPairs := w.JoinSignature()
 	for _, mem := range []int64{16 << 10, 96 << 10, 2 << 20} {
-		res := MustRun(HybridHash, smallCfg(), smallParams(w, mem))
+		res := mustRun(HybridHash, smallCfg(), smallParams(w, mem))
 		if res.Signature != wantSig || res.Pairs != wantPairs {
 			t.Errorf("hybrid-hash wrong result at mem=%d", mem)
 		}
@@ -344,8 +354,8 @@ func TestHybridHashDegeneratesWithAmpleMemory(t *testing.T) {
 	// K = 0 overflow buckets, and hybrid beats Grace (no RS traffic).
 	w := smallWorkload(6000, 22)
 	mem := int64(2 << 20)
-	hh := MustRun(HybridHash, smallCfg(), smallParams(w, mem))
-	gr := MustRun(Grace, smallCfg(), smallParams(w, mem))
+	hh := mustRun(HybridHash, smallCfg(), smallParams(w, mem))
+	gr := mustRun(Grace, smallCfg(), smallParams(w, mem))
 	if hh.K != 0 {
 		t.Errorf("K = %d with ample memory, want 0", hh.K)
 	}
@@ -362,8 +372,8 @@ func TestHybridHashConvergesToGraceAtLowMemory(t *testing.T) {
 	// approaches Grace's.
 	w := smallWorkload(6000, 23)
 	mem := int64(12 << 10)
-	hh := MustRun(HybridHash, smallCfg(), smallParams(w, mem))
-	gr := MustRun(Grace, smallCfg(), smallParams(w, mem))
+	hh := mustRun(HybridHash, smallCfg(), smallParams(w, mem))
+	gr := mustRun(Grace, smallCfg(), smallParams(w, mem))
 	ratio := float64(hh.Elapsed) / float64(gr.Elapsed)
 	if ratio < 0.8 || ratio > 1.3 {
 		t.Errorf("hybrid/grace elapsed ratio %.2f at scarce memory, want ~1", ratio)
@@ -373,7 +383,7 @@ func TestHybridHashConvergesToGraceAtLowMemory(t *testing.T) {
 func TestTraditionalGraceComputesTheSameJoin(t *testing.T) {
 	w := smallWorkload(4000, 31)
 	wantSig, wantPairs := w.JoinSignature()
-	res := MustRun(TraditionalGrace, smallCfg(), smallParams(w, 96<<10))
+	res := mustRun(TraditionalGrace, smallCfg(), smallParams(w, 96<<10))
 	if res.Pairs != wantPairs || res.Signature != wantSig {
 		t.Errorf("traditional grace: %d pairs sig %x, want %d/%x",
 			res.Pairs, res.Signature, wantPairs, wantSig)
@@ -386,8 +396,8 @@ func TestPointerJoinBeatsTraditional(t *testing.T) {
 	// value-based baseline clearly.
 	w := smallWorkload(8000, 32)
 	for _, mem := range []int64{64 << 10, 512 << 10} {
-		ptr := MustRun(Grace, smallCfg(), smallParams(w, mem))
-		trad := MustRun(TraditionalGrace, smallCfg(), smallParams(w, mem))
+		ptr := mustRun(Grace, smallCfg(), smallParams(w, mem))
+		trad := mustRun(TraditionalGrace, smallCfg(), smallParams(w, mem))
 		if ptr.Signature != trad.Signature {
 			t.Fatal("algorithms disagree on the join")
 		}
@@ -401,7 +411,7 @@ func TestPointerJoinBeatsTraditional(t *testing.T) {
 func TestResultInvariants(t *testing.T) {
 	w := smallWorkload(4000, 41)
 	for _, alg := range []Algorithm{NestedLoops, SortMerge, Grace, HybridHash, TraditionalGrace} {
-		res := MustRun(alg, smallCfg(), smallParams(w, 96<<10))
+		res := mustRun(alg, smallCfg(), smallParams(w, 96<<10))
 		if len(res.PerProc) != 4 {
 			t.Fatalf("%v: PerProc has %d entries", alg, len(res.PerProc))
 		}
@@ -437,7 +447,7 @@ func TestTraceRecordsAllProcsAndPhases(t *testing.T) {
 	prm := smallParams(w, 96<<10)
 	tl := trace.New()
 	prm.Trace = tl
-	MustRun(Grace, smallCfg(), prm)
+	mustRun(Grace, smallCfg(), prm)
 	procs := map[string]int{}
 	for _, ev := range tl.Events() {
 		procs[ev.Proc]++
@@ -458,7 +468,7 @@ func TestMetricsCollectedDuringRun(t *testing.T) {
 	reg := metrics.New()
 	prm.Metrics = reg
 	prm.MetricsTick = 50 * sim.Millisecond
-	res := MustRun(Grace, smallCfg(), prm)
+	res := mustRun(Grace, smallCfg(), prm)
 
 	samples := reg.Samples()
 	if len(samples) < 2 {
@@ -506,10 +516,10 @@ func TestMetricsDoNotPerturbTiming(t *testing.T) {
 	// Instrumentation must be an observer: an instrumented run and a plain
 	// run are identical in virtual time and I/O.
 	w := smallWorkload(2000, 45)
-	plain := MustRun(Grace, smallCfg(), smallParams(w, 96<<10))
+	plain := mustRun(Grace, smallCfg(), smallParams(w, 96<<10))
 	prm := smallParams(w, 96<<10)
 	prm.Metrics = metrics.New()
-	instr := MustRun(Grace, smallCfg(), prm)
+	instr := mustRun(Grace, smallCfg(), prm)
 	if plain.Elapsed != instr.Elapsed || plain.DiskReads != instr.DiskReads ||
 		plain.DiskWrites != instr.DiskWrites || plain.Signature != instr.Signature {
 		t.Errorf("instrumented run diverged: %v/%d/%d vs %v/%d/%d",
@@ -521,7 +531,7 @@ func TestMetricsDoNotPerturbTiming(t *testing.T) {
 func TestDiskBreakdownSumsToServiceSum(t *testing.T) {
 	w := smallWorkload(4000, 46)
 	for _, alg := range []Algorithm{NestedLoops, SortMerge, Grace} {
-		res := MustRun(alg, smallCfg(), smallParams(w, 64<<10))
+		res := mustRun(alg, smallCfg(), smallParams(w, 64<<10))
 		ds := res.Disk
 		if sum := ds.SeekTime + ds.RotationTime + ds.TransferTime + ds.OverheadTime; sum != ds.ServiceSum {
 			t.Errorf("%v: components sum %v != ServiceSum %v", alg, sum, ds.ServiceSum)
@@ -539,7 +549,7 @@ func TestDiskBreakdownSumsToServiceSum(t *testing.T) {
 func TestReserveClampedSurfacesScarcity(t *testing.T) {
 	w := smallWorkload(6000, 47)
 	// One page of memory: hash-table reservations cannot be met.
-	tiny := MustRun(Grace, smallCfg(), smallParams(w, 4096))
+	tiny := mustRun(Grace, smallCfg(), smallParams(w, 4096))
 	if tiny.ReserveClamped == 0 {
 		t.Error("one-page run should report clamped reservations")
 	}
@@ -547,7 +557,7 @@ func TestReserveClampedSurfacesScarcity(t *testing.T) {
 	if sig, pairs := w.JoinSignature(); tiny.Signature != sig || tiny.Pairs != pairs {
 		t.Error("clamped run computed a wrong join")
 	}
-	ample := MustRun(Grace, smallCfg(), smallParams(w, 4<<20))
+	ample := mustRun(Grace, smallCfg(), smallParams(w, 4<<20))
 	if ample.ReserveClamped != 0 {
 		t.Errorf("ample-memory run reports %d clamped reservations", ample.ReserveClamped)
 	}
@@ -555,7 +565,7 @@ func TestReserveClampedSurfacesScarcity(t *testing.T) {
 
 func TestPhaseIOCumulative(t *testing.T) {
 	w := smallWorkload(4000, 43)
-	res := MustRun(Grace, smallCfg(), smallParams(w, 64<<10))
+	res := mustRun(Grace, smallCfg(), smallParams(w, 64<<10))
 	var prevR, prevW int64
 	for _, ph := range res.Phases {
 		if ph.Reads < prevR || ph.Writes < prevW {
@@ -567,5 +577,53 @@ func TestPhaseIOCumulative(t *testing.T) {
 	last := res.Phases[len(res.Phases)-1]
 	if last.Reads > res.DiskReads {
 		t.Errorf("final phase reads %d exceed total %d", last.Reads, res.DiskReads)
+	}
+}
+
+func TestRequestValidateFoldsDefaults(t *testing.T) {
+	w := smallWorkload(1000, 9)
+	req := Request{Algorithm: Grace, Config: smallCfg(), Params: smallParams(w, 96<<10)}
+	if err := req.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if req.MSproc != req.MRproc {
+		t.Errorf("MSproc not defaulted: %d", req.MSproc)
+	}
+	if req.G != int64(smallCfg().B()) {
+		t.Errorf("G not defaulted: %d", req.G)
+	}
+	if req.Fuzz != 1.2 {
+		t.Errorf("Fuzz not defaulted: %g", req.Fuzz)
+	}
+	// Idempotent: validating again changes nothing and still succeeds.
+	before := req
+	if err := req.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if req != before {
+		t.Error("second Validate changed the request")
+	}
+	// Unknown algorithms are rejected before any machine is built.
+	bad := Request{Algorithm: Algorithm(42), Config: smallCfg(), Params: smallParams(w, 96<<10)}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestDeprecatedShims(t *testing.T) {
+	w := smallWorkload(1000, 9)
+	want := mustRun(Grace, smallCfg(), smallParams(w, 96<<10))
+	viaRun, err := Run(Grace, smallCfg(), smallParams(w, 96<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaMust := MustRun(Grace, smallCfg(), smallParams(w, 96<<10))
+	for _, res := range []*Result{viaRun, viaMust} {
+		if res.Signature != want.Signature || res.Elapsed != want.Elapsed {
+			t.Errorf("shim result differs: %+v vs %+v", res, want)
+		}
+	}
+	if _, err := Run(Algorithm(42), smallCfg(), smallParams(w, 96<<10)); err == nil {
+		t.Error("shim accepted unknown algorithm")
 	}
 }

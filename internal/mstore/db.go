@@ -189,6 +189,40 @@ func (db *DB) ExpectedStats() JoinStats {
 	return st
 }
 
+// LookupResult is one dereferenced R→S pointer: the R object's id, the
+// S object it references (by partition and index), and that S object's
+// identity word.
+type LookupResult struct {
+	RID    uint64
+	SPart  uint32
+	SIndex int
+	SWord  uint64
+}
+
+// Lookup dereferences R[part][index]'s stored pointer through the
+// mapping — the single-object counterpart of the bulk joins.
+func (db *DB) Lookup(part, index int) (LookupResult, error) {
+	if part < 0 || part >= len(db.R) {
+		return LookupResult{}, fmt.Errorf("mstore: R partition %d out of range [0,%d)", part, len(db.R))
+	}
+	rel := db.R[part]
+	if index < 0 || index >= rel.Count() {
+		return LookupResult{}, fmt.Errorf("mstore: R%d index %d out of range [0,%d)", part, index, rel.Count())
+	}
+	obj := rel.Object(index)
+	ptr := DecodeSPtr(obj)
+	if int(ptr.Part) >= len(db.S) {
+		return LookupResult{}, fmt.Errorf("mstore: R%d[%d] points to partition %d", part, index, ptr.Part)
+	}
+	s := db.S[ptr.Part]
+	return LookupResult{
+		RID:    binary.LittleEndian.Uint64(obj[ridOffset:]),
+		SPart:  ptr.Part,
+		SIndex: s.IndexOf(ptr.Off),
+		SWord:  binary.LittleEndian.Uint64(s.At(ptr.Off)),
+	}, nil
+}
+
 func boolInt(b bool) int {
 	if b {
 		return 1

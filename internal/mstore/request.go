@@ -1,0 +1,193 @@
+package mstore
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+
+	"mmjoin/internal/join"
+	"mmjoin/internal/relation"
+)
+
+// JoinRequest selects and parameterizes one join over the mapped store,
+// sharing the simulator's vocabulary (join.Request) so sim-join and
+// real-join are configured with the same words:
+//
+//   - Algorithm is a join.Algorithm; the real store executes
+//     NestedLoops, SortMerge, Grace, and HybridHash (TraditionalGrace
+//     exists only as an analytical baseline in the simulator).
+//   - MRproc is the per-goroutine private-memory grant in bytes, the
+//     real-store analogue of join.Params.MRproc. Grace derives its
+//     bucket count K from it with the simulator's rule
+//     K = ⌈Fuzz·|RSi|·r / MRproc⌉, and hybrid-hash sizes its resident
+//     S prefix as the part of an S partition that fits in MRproc.
+//   - K and Fuzz override/tune that derivation exactly as in
+//     join.Params.
+//
+// The pointer vocabularies map as follows: the simulator's
+// relation.SPtr{Part, Index} addresses S objects by index, the store's
+// SPtr{Part, Off} by byte offset into the partition segment; they are
+// interchangeable through Relation.IndexOf(Off) and Relation.PtrAt(Index).
+type JoinRequest struct {
+	Algorithm join.Algorithm
+
+	// MRproc is the private memory grant per partition goroutine, bytes.
+	// Zero selects a grant large enough that Grace uses one bucket.
+	MRproc int64
+
+	// K is the Grace/hybrid-hash bucket count; 0 derives it from MRproc.
+	K int
+	// Fuzz is the hash-table overhead allowance in the K derivation;
+	// 0 selects the simulator's default 1.2.
+	Fuzz float64
+
+	// ResidentFrac is the hybrid-hash resident fraction of each S
+	// partition; 0 derives it from MRproc (negative forces 0).
+	ResidentFrac float64
+
+	// TmpDir holds the temporary partition/bucket relations; "" selects
+	// <db dir>/tmp.
+	TmpDir string
+}
+
+// withDefaults folds derived defaults into the request, mirroring
+// join.Params.withDefaults.
+func (req *JoinRequest) withDefaults(db *DB) error {
+	switch req.Algorithm {
+	case join.NestedLoops, join.SortMerge, join.Grace, join.HybridHash:
+	case join.TraditionalGrace:
+		return fmt.Errorf("mstore: %v is an analytical baseline; the store executes pointer-based plans only", req.Algorithm)
+	default:
+		return fmt.Errorf("mstore: unknown algorithm %v", req.Algorithm)
+	}
+	if req.MRproc < 0 {
+		return fmt.Errorf("mstore: negative memory grant %d", req.MRproc)
+	}
+	if req.Fuzz == 0 {
+		req.Fuzz = 1.2
+	}
+	if req.TmpDir == "" {
+		req.TmpDir = filepath.Join(db.Dir, "tmp")
+	}
+	if req.K <= 0 {
+		req.K = db.deriveK(req.MRproc, req.Fuzz)
+	}
+	if req.ResidentFrac == 0 {
+		req.ResidentFrac = db.deriveResidentFrac(req.MRproc)
+	}
+	if req.ResidentFrac < 0 {
+		req.ResidentFrac = 0
+	}
+	if req.ResidentFrac > 1 {
+		req.ResidentFrac = 1
+	}
+	return nil
+}
+
+// deriveK applies the simulator's Grace rule K = ⌈fuzz·|RSi|·r/M⌉ with
+// |RSi| = |R|/D (each partition's expected reference load).
+func (db *DB) deriveK(mrproc int64, fuzz float64) int {
+	if mrproc <= 0 {
+		return 1
+	}
+	rsi := float64(db.CountR()) / float64(db.D)
+	k := int(math.Ceil(fuzz * rsi * float64(db.ObjSize) / float64(mrproc)))
+	if k < 1 {
+		k = 1
+	}
+	if rsi >= 1 && float64(k) > rsi {
+		k = int(rsi)
+	}
+	return k
+}
+
+// deriveResidentFrac sizes the hybrid-hash resident prefix: the share of
+// one S partition that fits in the per-goroutine grant.
+func (db *DB) deriveResidentFrac(mrproc int64) float64 {
+	if mrproc <= 0 {
+		return 0
+	}
+	perPart := float64(db.CountS()) / float64(db.D) * float64(db.ObjSize)
+	if perPart <= 0 {
+		return 0
+	}
+	frac := float64(mrproc) / perPart
+	if frac > 1 {
+		frac = 1
+	}
+	return frac
+}
+
+// CountR returns the total number of R objects across partitions.
+func (db *DB) CountR() int {
+	n := 0
+	for _, rel := range db.R {
+		n += rel.Count()
+	}
+	return n
+}
+
+// CountS returns the total number of S objects across partitions.
+func (db *DB) CountS() int {
+	n := 0
+	for _, rel := range db.S {
+		n += rel.Count()
+	}
+	return n
+}
+
+// Run validates the request, folds in derived defaults, and executes the
+// selected algorithm over the mapped store. It is safe for concurrent
+// use by multiple goroutines as long as each call gets its own TmpDir
+// (the base relations are only read).
+func (db *DB) Run(req JoinRequest) (JoinStats, error) {
+	if err := req.withDefaults(db); err != nil {
+		return JoinStats{}, err
+	}
+	switch req.Algorithm {
+	case join.NestedLoops:
+		return db.NestedLoops(req.TmpDir)
+	case join.SortMerge:
+		return db.SortMerge(req.TmpDir)
+	case join.Grace:
+		return db.Grace(req.TmpDir, req.K)
+	default: // join.HybridHash, by withDefaults
+		return db.HybridHash(req.TmpDir, req.K, req.ResidentFrac)
+	}
+}
+
+// Workload converts the stored relations into the simulator's workload
+// form: the same partitioning, object sizes, and — crucially — the
+// actual stored references, translated from byte offsets to indexes
+// (relation.SPtr.Index = Relation.IndexOf(SPtr.Off)). The result lets
+// the planner cost this exact database through planner.InputsFor with
+// measured skew and distinct-reference counts rather than assumptions.
+func (db *DB) Workload() (*relation.Workload, error) {
+	if len(db.R) != db.D || len(db.S) != db.D {
+		return nil, fmt.Errorf("mstore: %d/%d relations for D=%d", len(db.R), len(db.S), db.D)
+	}
+	w := &relation.Workload{
+		Spec: relation.Spec{
+			NR: db.CountR(), NS: db.CountS(),
+			RSize: db.ObjSize, SSize: db.ObjSize,
+			PtrSize: sptrBytes,
+			D:       db.D,
+		},
+		Refs: make([][]relation.SPtr, db.D),
+	}
+	for i, rel := range db.R {
+		refs := make([]relation.SPtr, rel.Count())
+		for x := range refs {
+			ptr := DecodeSPtr(rel.Object(x))
+			if int(ptr.Part) >= db.D {
+				return nil, fmt.Errorf("mstore: R%d[%d] points to partition %d", i, x, ptr.Part)
+			}
+			refs[x] = relation.SPtr{
+				Part:  int32(ptr.Part),
+				Index: int32(db.S[ptr.Part].IndexOf(ptr.Off)),
+			}
+		}
+		w.Refs[i] = refs
+	}
+	return w, nil
+}

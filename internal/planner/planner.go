@@ -64,6 +64,47 @@ func (pl *Planner) predict(alg join.Algorithm, in model.Inputs) (*model.Predicti
 	return nil, fmt.Errorf("planner: unknown algorithm %v", alg)
 }
 
+// InputsFor derives the analytical model's inputs from a fully-specified
+// join request: shape and sizes from the workload spec, skew and the
+// distinct-reference count measured from the generated references, and
+// every tuning knob copied through. It is the bridge that lets callers
+// hand the planner the same Request they would execute, instead of
+// hand-assembling model.Inputs.
+func InputsFor(req join.Request) (model.Inputs, error) {
+	w := req.Workload
+	if w == nil {
+		return model.Inputs{}, fmt.Errorf("planner: request has no workload")
+	}
+	spec := w.Spec
+	maxDistinct := 0
+	for _, n := range w.DistinctRefCounts() {
+		if n > maxDistinct {
+			maxDistinct = n
+		}
+	}
+	return model.Inputs{
+		NR: int64(spec.NR), NS: int64(spec.NS),
+		R: int64(spec.RSize), S: int64(spec.SSize), Ptr: int64(spec.PtrSize),
+		D:         spec.D,
+		Skew:      w.Skew(),
+		DistinctS: int64(maxDistinct),
+		MRproc:    req.MRproc, MSproc: req.MSproc, G: req.G,
+		IRun: req.IRun, NRunABL: req.NRunABL, NRunLast: req.NRunLast,
+		K: req.K, TSize: req.TSize, Fuzz: req.Fuzz,
+	}, nil
+}
+
+// ChooseFor costs the request's workload across the planner's candidate
+// algorithms (the request's own Algorithm field is ignored — choosing it
+// is the point) and returns them cheapest first.
+func (pl *Planner) ChooseFor(req join.Request) (*Choice, error) {
+	in, err := InputsFor(req)
+	if err != nil {
+		return nil, err
+	}
+	return pl.Choose(in)
+}
+
 // Choose costs all candidate algorithms for the inputs and returns them
 // cheapest first.
 func (pl *Planner) Choose(in model.Inputs) (*Choice, error) {

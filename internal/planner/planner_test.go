@@ -6,6 +6,7 @@ import (
 	"mmjoin/internal/join"
 	"mmjoin/internal/machine"
 	"mmjoin/internal/model"
+	"mmjoin/internal/relation"
 )
 
 func testCalib(t *testing.T) model.Calibration {
@@ -116,5 +117,48 @@ func TestPointerPlansBeatTraditionalAnalytically(t *testing.T) {
 		if choice.Best.Algorithm == join.TraditionalGrace {
 			t.Errorf("mem=%d: traditional plan won", mem)
 		}
+	}
+}
+
+func TestChooseForDerivesInputsFromRequest(t *testing.T) {
+	spec := relation.DefaultSpec()
+	spec.NR, spec.NS = 8000, 8000
+	w := relation.MustGenerate(spec)
+	req := join.Request{
+		Config: machine.DefaultConfig(),
+		Params: join.Params{Workload: w, MRproc: 96 << 10, K: 7},
+	}
+	in, err := InputsFor(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NR != 8000 || in.D != spec.D || in.MRproc != 96<<10 || in.K != 7 {
+		t.Errorf("derived inputs wrong: %+v", in)
+	}
+	if in.Skew != w.Skew() {
+		t.Errorf("skew not measured from workload: %g vs %g", in.Skew, w.Skew())
+	}
+	if in.DistinctS <= 0 {
+		t.Errorf("DistinctS not derived: %d", in.DistinctS)
+	}
+
+	pl := New(testCalib(t), nil)
+	choice, err := pl.ChooseFor(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := pl.Choose(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.Best.Algorithm != direct.Best.Algorithm ||
+		choice.Best.Predicted != direct.Best.Predicted {
+		t.Errorf("ChooseFor disagrees with Choose on the same inputs: %v vs %v",
+			choice.Best, direct.Best)
+	}
+
+	// A request without a workload cannot be costed.
+	if _, err := pl.ChooseFor(join.Request{Config: machine.DefaultConfig()}); err == nil {
+		t.Error("workload-less request accepted")
 	}
 }

@@ -1,0 +1,185 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// acquireAsync starts an Acquire on its own goroutine and returns a
+// channel carrying its result.
+func acquireAsync(a *Admission, ctx context.Context, bytes int64) chan error {
+	done := make(chan error, 1)
+	go func() { done <- a.Acquire(ctx, bytes) }()
+	return done
+}
+
+func waitQueued(t *testing.T, a *Admission, depth int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for a.Stats().QueueDepth < depth {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth never reached %d: %+v", depth, a.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAdmissionImmediateGrant(t *testing.T) {
+	a := NewAdmission(100, 4)
+	if err := a.Acquire(context.Background(), 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Acquire(context.Background(), 40); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.UsedBytes != 100 || st.Admitted != 2 || st.Queued != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	a.Release(60)
+	a.Release(40)
+	if st := a.Stats(); st.UsedBytes != 0 {
+		t.Fatalf("bytes leaked: %+v", st)
+	}
+}
+
+func TestAdmissionFIFOQueueing(t *testing.T) {
+	a := NewAdmission(100, 4)
+	if err := a.Acquire(context.Background(), 30); err != nil {
+		t.Fatal(err)
+	}
+	// A large waiter at the head must block a later small one even while
+	// the small one would fit: strict FIFO prevents starvation.
+	big := acquireAsync(a, context.Background(), 80) // 30+80 > 100: waits
+	waitQueued(t, a, 1)
+	small := acquireAsync(a, context.Background(), 10) // would fit, must wait
+	waitQueued(t, a, 2)
+	select {
+	case err := <-small:
+		t.Fatalf("small waiter overtook the head (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	a.Release(30)
+	if err := <-big; err != nil {
+		t.Fatalf("head waiter: %v", err)
+	}
+	if err := <-small; err != nil {
+		t.Fatalf("second waiter: %v", err)
+	}
+	a.Release(80)
+	a.Release(10)
+	st := a.Stats()
+	if st.UsedBytes != 0 || st.Queued != 2 || st.Admitted != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestAdmissionSaturation(t *testing.T) {
+	a := NewAdmission(100, 1)
+	if err := a.Acquire(context.Background(), 100); err != nil {
+		t.Fatal(err)
+	}
+	queued := acquireAsync(a, context.Background(), 50)
+	waitQueued(t, a, 1)
+	if err := a.Acquire(context.Background(), 10); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("full queue: err = %v, want ErrSaturated", err)
+	}
+	a.Release(100)
+	if err := <-queued; err != nil {
+		t.Fatal(err)
+	}
+	a.Release(50)
+	if st := a.Stats(); st.Rejected != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestAdmissionRejectsBadGrants(t *testing.T) {
+	a := NewAdmission(100, 4)
+	if err := a.Acquire(context.Background(), 101); !errors.Is(err, ErrGrantTooLarge) {
+		t.Fatalf("over-budget grant: %v", err)
+	}
+	if err := a.Acquire(context.Background(), 0); !errors.Is(err, ErrBadGrant) {
+		t.Fatalf("zero grant: %v", err)
+	}
+	if err := a.Acquire(context.Background(), -5); !errors.Is(err, ErrBadGrant) {
+		t.Fatalf("negative grant: %v", err)
+	}
+}
+
+func TestAdmissionCancellation(t *testing.T) {
+	a := NewAdmission(100, 4)
+	if err := a.Acquire(context.Background(), 100); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	waiting := acquireAsync(a, ctx, 50)
+	waitQueued(t, a, 1)
+	cancel()
+	if err := <-waiting; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter: %v", err)
+	}
+	st := a.Stats()
+	if st.QueueDepth != 0 || st.Canceled != 1 {
+		t.Fatalf("slot not freed: %+v", st)
+	}
+	// The freed slot must not leave later waiters stuck.
+	next := acquireAsync(a, context.Background(), 100)
+	waitQueued(t, a, 1)
+	a.Release(100)
+	if err := <-next; err != nil {
+		t.Fatal(err)
+	}
+	a.Release(100)
+	if st := a.Stats(); st.UsedBytes != 0 {
+		t.Fatalf("bytes leaked: %+v", st)
+	}
+}
+
+// TestAdmissionInvariantUnderStress hammers the controller from many
+// goroutines and asserts the budget was never exceeded (peak tracking is
+// updated under the same lock as the charge, so PeakUsedBytes is exact).
+func TestAdmissionInvariantUnderStress(t *testing.T) {
+	const budget = 1 << 20
+	a := NewAdmission(budget, 256)
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				bytes := int64(1 + rng.Intn(budget/4))
+				ctx := context.Background()
+				if rng.Intn(4) == 0 {
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(200))*time.Microsecond)
+					defer cancel()
+				}
+				if err := a.Acquire(ctx, bytes); err != nil {
+					continue
+				}
+				if rng.Intn(8) == 0 {
+					time.Sleep(time.Duration(rng.Intn(100)) * time.Microsecond)
+				}
+				a.Release(bytes)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	st := a.Stats()
+	if st.UsedBytes != 0 {
+		t.Fatalf("bytes leaked after drain: %+v", st)
+	}
+	if st.PeakUsedBytes > budget {
+		t.Fatalf("budget exceeded: peak %d > %d", st.PeakUsedBytes, budget)
+	}
+	if st.QueueDepth != 0 {
+		t.Fatalf("waiters stranded: %+v", st)
+	}
+}

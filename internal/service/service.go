@@ -1,0 +1,542 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mmjoin/internal/join"
+	"mmjoin/internal/machine"
+	"mmjoin/internal/metrics"
+	"mmjoin/internal/model"
+	"mmjoin/internal/mstore"
+	"mmjoin/internal/planner"
+	"mmjoin/internal/relation"
+	"mmjoin/internal/sim"
+)
+
+// Config parameterizes one server. Zero values select the documented
+// defaults.
+type Config struct {
+	// Dir is the database directory (required) and D its partition count.
+	Dir string
+	D   int
+
+	// MemBudget is the total bytes of join memory the service may have
+	// charged to concurrently executing joins (default 8·DefaultGrant).
+	MemBudget int64
+	// DefaultGrant is the per-request memory grant when the request does
+	// not name one (default 4 MiB · D).
+	DefaultGrant int64
+	// MaxQueue bounds the admission wait queue; a full queue answers 429
+	// (default 64, negative disables queueing entirely).
+	MaxQueue int
+	// RequestTimeout caps each request's admission wait plus execution
+	// (default 30s; requests may shorten it per call).
+	RequestTimeout time.Duration
+	// RetryAfter is the hint returned with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// CalibrationOps is the analytical-model calibration effort at
+	// startup (default 800 measured I/Os per band size).
+	CalibrationOps int
+}
+
+func (cfg *Config) withDefaults() error {
+	if cfg.Dir == "" {
+		return fmt.Errorf("service: database dir required")
+	}
+	if cfg.D < 1 {
+		return fmt.Errorf("service: D=%d must be >= 1", cfg.D)
+	}
+	if cfg.DefaultGrant <= 0 {
+		cfg.DefaultGrant = int64(cfg.D) << 22
+	}
+	if cfg.MemBudget <= 0 {
+		cfg.MemBudget = 8 * cfg.DefaultGrant
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 64
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.CalibrationOps <= 0 {
+		cfg.CalibrationOps = 800
+	}
+	return nil
+}
+
+// Server is the concurrent query service over one mapped database. All
+// endpoints are safe for concurrent use; joins execute real goroutine
+// parallelism over the shared read-only base relations, with per-request
+// temporary directories.
+type Server struct {
+	cfg Config
+	db  *mstore.DB
+	w   *relation.Workload // the db's shape+references, for the planner
+	pl  *planner.Planner
+	sim machine.Config // simulated machine the planner costs against
+	adm *Admission
+
+	start    time.Time
+	inflight sync.WaitGroup
+	draining atomic.Bool
+	reqSeq   atomic.Int64
+
+	// preJoin, when set by tests, runs inside the join goroutine after
+	// admission and before execution, making mid-join timing
+	// deterministic.
+	preJoin func()
+
+	mu        sync.Mutex // guards reg and the instrument maps
+	reg       *metrics.Registry
+	counters  map[string]*metrics.Counter
+	hists     map[string]*metrics.Histogram
+	histOrder []string
+}
+
+// New opens the database, derives its workload shape, calibrates the
+// planner, and assembles the admission controller. Close releases the
+// mapping.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	db, err := mstore.OpenDB(cfg.Dir, cfg.D)
+	if err != nil {
+		return nil, err
+	}
+	w, err := db.Workload()
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	mcfg := machine.DefaultConfig()
+	mcfg.D = cfg.D
+	calib := model.Calibrate(mcfg, cfg.CalibrationOps, 1)
+	s := &Server{
+		cfg:      cfg,
+		db:       db,
+		w:        w,
+		pl:       planner.New(calib, nil),
+		sim:      mcfg,
+		adm:      NewAdmission(cfg.MemBudget, cfg.MaxQueue),
+		start:    time.Now(),
+		reg:      metrics.New(),
+		counters: make(map[string]*metrics.Counter),
+		hists:    make(map[string]*metrics.Histogram),
+	}
+	return s, nil
+}
+
+// Close unmaps the database. Callers should Drain first.
+func (s *Server) Close() error { return s.db.Close() }
+
+// Drain stops admitting new requests (joins answer 503, healthz reports
+// draining) and waits until every accepted request — including queued
+// ones and joins abandoned by their clients — has finished, or ctx
+// expires.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// counter returns (creating on first use) a named counter.
+func (s *Server) counter(name string) *metrics.Counter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.counters[name]
+	if !ok {
+		c = s.reg.Counter(name)
+		s.counters[name] = c
+	}
+	return c
+}
+
+// observe records a wall-clock duration in a named histogram.
+func (s *Server) observe(name string, d time.Duration) {
+	s.mu.Lock()
+	h, ok := s.hists[name]
+	if !ok {
+		h = s.reg.Histogram(name)
+		s.hists[name] = h
+		s.histOrder = append(s.histOrder, name)
+	}
+	s.mu.Unlock()
+	s.mu.Lock()
+	h.Observe(sim.Time(d))
+	s.mu.Unlock()
+}
+
+// inc bumps a named counter (thread-safe).
+func (s *Server) inc(name string) {
+	c := s.counter(name)
+	s.mu.Lock()
+	c.Inc()
+	s.mu.Unlock()
+}
+
+// Handler returns the service's HTTP mux: POST /join, GET /lookup,
+// GET /stats, GET /healthz. Every handler runs behind panic isolation —
+// a panicking request answers 500 and the server keeps serving.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /join", s.handleJoin)
+	mux.HandleFunc("GET /lookup", s.handleLookup)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s.isolate(mux)
+}
+
+// isolate recovers handler panics into 500 responses.
+func (s *Server) isolate(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.inc("panics_recovered")
+				writeJSON(rw, http.StatusInternalServerError,
+					map[string]string{"error": fmt.Sprintf("internal panic: %v", v)})
+			}
+		}()
+		next.ServeHTTP(rw, r)
+	})
+}
+
+// JoinRequest is the wire form of one join query.
+type JoinRequest struct {
+	// Algorithm is "auto" (or empty) for a planner-chosen algorithm, or
+	// one of nested-loops, sort-merge, grace, hybrid-hash.
+	Algorithm string `json:"algorithm"`
+	// MemBytes is the request's total memory grant — the unit of
+	// admission control. Zero selects the server default. Each of the D
+	// partition goroutines receives MemBytes/D as its MRproc.
+	MemBytes int64 `json:"memBytes"`
+	// K overrides the Grace/hybrid bucket count (0: derive from grant).
+	K int `json:"k"`
+	// TimeoutMs shortens the server's request timeout for this call.
+	TimeoutMs int64 `json:"timeoutMs"`
+}
+
+// PlanEntry is one planner candidate in the response, cheapest first.
+type PlanEntry struct {
+	Algorithm   string `json:"algorithm"`
+	PredictedNs int64  `json:"predictedNs"`
+}
+
+// JoinResponse is the wire form of one join result.
+type JoinResponse struct {
+	Algorithm   string      `json:"algorithm"`
+	Pairs       int64       `json:"pairs"`
+	Signature   string      `json:"signature"` // hex, order-independent
+	MemBytes    int64       `json:"memBytes"`  // granted (charged) bytes
+	MRproc      int64       `json:"mrprocBytes"`
+	QueueWaitNs int64       `json:"queueWaitNs"`
+	ElapsedNs   int64       `json:"elapsedNs"` // execution, excluding queue
+	Plan        []PlanEntry `json:"plan,omitempty"`
+	PredictedNs int64       `json:"predictedNs,omitempty"` // model's per-join virtual-time estimate
+}
+
+// executable maps wire names onto the store's runnable algorithms.
+func parseAlgorithm(name string) (join.Algorithm, bool) {
+	switch name {
+	case "nested-loops":
+		return join.NestedLoops, true
+	case "sort-merge":
+		return join.SortMerge, true
+	case "grace":
+		return join.Grace, true
+	case "hybrid-hash":
+		return join.HybridHash, true
+	}
+	return 0, false
+}
+
+func (s *Server) handleJoin(rw http.ResponseWriter, r *http.Request) {
+	s.inc("join_requests_total")
+	if s.draining.Load() {
+		s.inc("rejected_draining")
+		writeJSON(rw, http.StatusServiceUnavailable, map[string]string{"error": "draining"})
+		return
+	}
+
+	var req JoinRequest
+	if r.Body != nil {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err.Error() != "EOF" {
+			s.inc("bad_requests")
+			writeJSON(rw, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+			return
+		}
+	}
+	grant := req.MemBytes
+	if grant <= 0 {
+		grant = s.cfg.DefaultGrant
+	}
+	// Every partition goroutine needs at least one page of grant.
+	if min := int64(s.cfg.D) * 4096; grant < min {
+		grant = min
+	}
+	mrproc := grant / int64(s.cfg.D)
+
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMs > 0 && time.Duration(req.TimeoutMs)*time.Millisecond < timeout {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// Plan: cost the request through the calibrated model. The planner
+	// sees the exact database shape (measured skew and distinct counts).
+	resp := JoinResponse{MemBytes: grant, MRproc: mrproc}
+	var alg join.Algorithm
+	if req.Algorithm == "" || req.Algorithm == "auto" {
+		choice, err := s.pl.ChooseFor(join.Request{
+			Config: s.sim,
+			Params: join.Params{Workload: s.w, MRproc: mrproc, K: req.K},
+		})
+		if err != nil {
+			s.inc("errors_internal")
+			writeJSON(rw, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		alg = choice.Best.Algorithm
+		resp.PredictedNs = int64(choice.Best.Predicted)
+		for _, c := range choice.Candidates {
+			resp.Plan = append(resp.Plan, PlanEntry{Algorithm: c.Algorithm.String(), PredictedNs: int64(c.Predicted)})
+		}
+		s.inc("plan_choice_" + alg.String())
+	} else {
+		var ok bool
+		alg, ok = parseAlgorithm(req.Algorithm)
+		if !ok {
+			s.inc("bad_requests")
+			writeJSON(rw, http.StatusBadRequest, map[string]string{"error": "unknown algorithm " + strconv.Quote(req.Algorithm)})
+			return
+		}
+	}
+	resp.Algorithm = alg.String()
+
+	// Admission: charge the grant against the shared memory budget.
+	admStart := time.Now()
+	if err := s.adm.Acquire(ctx, grant); err != nil {
+		s.rejectAdmission(rw, err)
+		return
+	}
+	queueWait := time.Since(admStart)
+	resp.QueueWaitNs = queueWait.Nanoseconds()
+	s.observe("admission_wait", queueWait)
+
+	// Execute on a child goroutine so client cancellation unblocks the
+	// handler; an abandoned join keeps its grant until it finishes (the
+	// memory truly is in use until then) and releases it on completion.
+	type outcome struct {
+		st  mstore.JoinStats
+		err error
+	}
+	tmp := filepath.Join(s.cfg.Dir, "tmp", fmt.Sprintf("req%d", s.reqSeq.Add(1)))
+	execStart := time.Now()
+	done := make(chan outcome, 1)
+	s.inflight.Add(1)
+	go func() {
+		defer s.inflight.Done()
+		defer s.adm.Release(grant)
+		defer os.RemoveAll(tmp)
+		defer func() {
+			if v := recover(); v != nil {
+				done <- outcome{err: fmt.Errorf("join panicked: %v", v)}
+			}
+		}()
+		if s.preJoin != nil {
+			s.preJoin()
+		}
+		st, err := s.db.Run(mstore.JoinRequest{
+			Algorithm: alg, MRproc: mrproc, K: req.K, TmpDir: tmp,
+		})
+		done <- outcome{st: st, err: err}
+	}()
+
+	select {
+	case out := <-done:
+		elapsed := time.Since(execStart)
+		if out.err != nil {
+			s.inc("errors_internal")
+			writeJSON(rw, http.StatusInternalServerError, map[string]string{"error": out.err.Error()})
+			return
+		}
+		s.inc("join_executed_" + alg.String())
+		s.observe("join_latency_"+alg.String(), elapsed)
+		resp.Pairs = out.st.Pairs
+		resp.Signature = fmt.Sprintf("%016x", out.st.Signature)
+		resp.ElapsedNs = elapsed.Nanoseconds()
+		writeJSON(rw, http.StatusOK, resp)
+	case <-ctx.Done():
+		s.inc("join_abandoned")
+		writeJSON(rw, http.StatusServiceUnavailable,
+			map[string]string{"error": "request abandoned mid-join: " + ctx.Err().Error()})
+	}
+}
+
+// rejectAdmission maps admission errors onto HTTP statuses: saturation
+// and deadline expiry are retryable (429 with Retry-After), an
+// over-budget grant is not (413).
+func (s *Server) rejectAdmission(rw http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrSaturated):
+		s.inc("rejected_saturated")
+		rw.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
+		writeJSON(rw, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
+	case errors.Is(err, ErrGrantTooLarge):
+		s.inc("rejected_too_large")
+		writeJSON(rw, http.StatusRequestEntityTooLarge, map[string]string{"error": err.Error()})
+	case errors.Is(err, ErrBadGrant):
+		s.inc("bad_requests")
+		writeJSON(rw, http.StatusBadRequest, map[string]string{"error": err.Error()})
+	default:
+		// Context cancellation or deadline while queued: the client may
+		// retry once load subsides.
+		s.inc("rejected_deadline")
+		rw.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
+		writeJSON(rw, http.StatusTooManyRequests,
+			map[string]string{"error": "admission wait aborted: " + err.Error()})
+	}
+}
+
+// LookupResponse is the wire form of one pointer dereference.
+type LookupResponse struct {
+	RPart  int    `json:"rPart"`
+	RIndex int    `json:"rIndex"`
+	RID    uint64 `json:"rid"`
+	SPart  uint32 `json:"sPart"`
+	SIndex int    `json:"sIndex"`
+	SWord  uint64 `json:"sWord"` // the S object's identity word
+}
+
+func (s *Server) handleLookup(rw http.ResponseWriter, r *http.Request) {
+	s.inc("lookups_total")
+	part, err1 := strconv.Atoi(r.URL.Query().Get("part"))
+	index, err2 := strconv.Atoi(r.URL.Query().Get("index"))
+	if err1 != nil || err2 != nil || part < 0 || part >= s.db.D {
+		writeJSON(rw, http.StatusBadRequest, map[string]string{"error": "need part=[0..D) and index=N"})
+		return
+	}
+	rel := s.db.R[part]
+	if index < 0 || index >= rel.Count() {
+		writeJSON(rw, http.StatusNotFound,
+			map[string]string{"error": fmt.Sprintf("R%d has %d objects", part, rel.Count())})
+		return
+	}
+	out, err := s.db.Lookup(part, index)
+	if err != nil {
+		writeJSON(rw, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(rw, http.StatusOK, LookupResponse{
+		RPart: part, RIndex: index,
+		RID: out.RID, SPart: out.SPart, SIndex: out.SIndex, SWord: out.SWord,
+	})
+}
+
+// HistogramStats is the exported view of one latency histogram.
+type HistogramStats struct {
+	Count  int64 `json:"count"`
+	MeanNs int64 `json:"meanNs"`
+	MinNs  int64 `json:"minNs"`
+	MaxNs  int64 `json:"maxNs"`
+	P50Ns  int64 `json:"p50Ns"`
+	P90Ns  int64 `json:"p90Ns"`
+	P99Ns  int64 `json:"p99Ns"`
+}
+
+// Stats is the /stats document.
+type Stats struct {
+	UptimeSec  float64                   `json:"uptimeSec"`
+	Draining   bool                      `json:"draining"`
+	DB         DBStats                   `json:"db"`
+	Admission  AdmissionStats            `json:"admission"`
+	Counters   map[string]int64          `json:"counters"`
+	Histograms map[string]HistogramStats `json:"histograms"`
+}
+
+// DBStats describes the served database.
+type DBStats struct {
+	Dir     string `json:"dir"`
+	D       int    `json:"d"`
+	ObjSize int    `json:"objSize"`
+	NR      int    `json:"nr"`
+	NS      int    `json:"ns"`
+}
+
+// StatsSnapshot assembles the /stats document (exported for tests and
+// embedding).
+func (s *Server) StatsSnapshot() Stats {
+	st := Stats{
+		UptimeSec: time.Since(s.start).Seconds(),
+		Draining:  s.draining.Load(),
+		DB: DBStats{
+			Dir: s.cfg.Dir, D: s.db.D, ObjSize: s.db.ObjSize,
+			NR: s.db.CountR(), NS: s.db.CountS(),
+		},
+		Admission:  s.adm.Stats(),
+		Counters:   make(map[string]int64),
+		Histograms: make(map[string]HistogramStats),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, c := range s.counters {
+		st.Counters[name] = c.Value()
+	}
+	for name, h := range s.hists {
+		st.Histograms[name] = HistogramStats{
+			Count:  h.Count(),
+			MeanNs: int64(h.Mean()),
+			MinNs:  int64(h.Min()),
+			MaxNs:  int64(h.Max()),
+			P50Ns:  int64(h.Quantile(0.5)),
+			P90Ns:  int64(h.Quantile(0.9)),
+			P99Ns:  int64(h.Quantile(0.99)),
+		}
+	}
+	return st
+}
+
+func (s *Server) handleStats(rw http.ResponseWriter, r *http.Request) {
+	writeJSON(rw, http.StatusOK, s.StatsSnapshot())
+}
+
+func (s *Server) handleHealthz(rw http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(rw, http.StatusServiceUnavailable,
+			map[string]any{"status": "draining", "draining": true})
+		return
+	}
+	writeJSON(rw, http.StatusOK, map[string]any{"status": "ok", "draining": false})
+}
+
+func writeJSON(rw http.ResponseWriter, code int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(code)
+	enc := json.NewEncoder(rw)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

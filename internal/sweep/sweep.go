@@ -178,7 +178,11 @@ func Speedup(base machine.Config, spec relation.Spec, alg join.Algorithm,
 			return err
 		}
 		mem := int64(memFrac * float64(int64(sp.NR)*int64(sp.RSize)))
-		res, err := join.Run(alg, cfg, join.Params{Workload: w, MRproc: mem, Stagger: true})
+		res, err := join.Request{
+			Algorithm: alg,
+			Config:    cfg,
+			Params:    join.Params{Workload: w, MRproc: mem, Stagger: true},
+		}.Run()
 		if err != nil {
 			return err
 		}
@@ -213,7 +217,11 @@ func Scaleup(base machine.Config, spec relation.Spec, alg join.Algorithm,
 			return err
 		}
 		mem := int64(memFrac * float64(int64(sp.NR)*int64(sp.RSize)))
-		res, err := join.Run(alg, cfg, join.Params{Workload: w, MRproc: mem, Stagger: true})
+		res, err := join.Request{
+			Algorithm: alg,
+			Config:    cfg,
+			Params:    join.Params{Workload: w, MRproc: mem, Stagger: true},
+		}.Run()
 		if err != nil {
 			return err
 		}
@@ -265,7 +273,11 @@ func Dist(cfg machine.Config, base relation.Spec, algs []join.Algorithm,
 		pt := DistPoint{Dist: spec.Dist, Skew: w.Skew(), Measured: map[join.Algorithm]sim.Time{}}
 		wantSig, _ := w.JoinSignature()
 		for _, alg := range algs {
-			res, err := join.Run(alg, cfg, join.Params{Workload: w, MRproc: mem, Stagger: true})
+			res, err := join.Request{
+				Algorithm: alg,
+				Config:    cfg,
+				Params:    join.Params{Workload: w, MRproc: mem, Stagger: true},
+			}.Run()
 			if err != nil {
 				return err
 			}
