@@ -71,6 +71,13 @@ func (req *JoinRequest) withDefaults(db *DB) error {
 	}
 	if req.K <= 0 {
 		req.K = db.deriveK(req.MRproc, req.Fuzz)
+	} else if max := db.maxK(); req.K > max {
+		// Bucket state (D·K index slices, D·K temp relations) is sized
+		// directly by K and is not covered by the MRproc grant, so an
+		// explicit K is clamped to the same per-partition reference
+		// ceiling deriveK enforces: buckets beyond the number of
+		// references a partition can hold never pay for themselves.
+		req.K = max
 	}
 	if req.ResidentFrac == 0 {
 		req.ResidentFrac = db.deriveResidentFrac(req.MRproc)
@@ -90,15 +97,23 @@ func (db *DB) deriveK(mrproc int64, fuzz float64) int {
 	if mrproc <= 0 {
 		return 1
 	}
-	rsi := float64(db.CountR()) / float64(db.D)
-	k := int(math.Ceil(fuzz * rsi * float64(db.ObjSize) / float64(mrproc)))
+	k := int(math.Ceil(fuzz * float64(db.CountR()) / float64(db.D) * float64(db.ObjSize) / float64(mrproc)))
 	if k < 1 {
 		k = 1
 	}
-	if rsi >= 1 && float64(k) > rsi {
-		k = int(rsi)
+	if max := db.maxK(); k > max {
+		k = max
 	}
 	return k
+}
+
+// maxK is the largest useful bucket count: one bucket per expected
+// reference in a partition (at least 1).
+func (db *DB) maxK() int {
+	if k := db.CountR() / db.D; k > 1 {
+		return k
+	}
+	return 1
 }
 
 // deriveResidentFrac sizes the hybrid-hash resident prefix: the share of

@@ -114,6 +114,9 @@ func (a *Admission) Acquire(ctx context.Context, bytes int64) error {
 					break
 				}
 			}
+			// Removing a queue-head waiter can unblock smaller waiters
+			// behind it that already fit in the budget.
+			a.grantWaiters()
 		}
 		a.canceled++
 		return ctx.Err()

@@ -183,3 +183,36 @@ func TestAdmissionInvariantUnderStress(t *testing.T) {
 		t.Fatalf("waiters stranded: %+v", st)
 	}
 }
+
+// TestAdmissionCancelledHeadUnblocksQueue: cancelling an ungranted
+// queue-head waiter must immediately admit smaller waiters behind it
+// that already fit, rather than leaving them blocked until the next
+// Release.
+func TestAdmissionCancelledHeadUnblocksQueue(t *testing.T) {
+	a := NewAdmission(100, 4)
+	if err := a.Acquire(context.Background(), 60); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	head := acquireAsync(a, ctx, 50) // blocked: 60+50 > 100
+	waitQueued(t, a, 1)
+	behind := acquireAsync(a, context.Background(), 30) // fits, but FIFO-blocked
+	waitQueued(t, a, 2)
+
+	cancel()
+	if err := <-head; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled head: %v", err)
+	}
+	select {
+	case err := <-behind:
+		if err != nil {
+			t.Fatalf("unblocked waiter: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter behind cancelled head stayed blocked with budget available")
+	}
+	if st := a.Stats(); st.UsedBytes != 90 || st.Canceled != 1 || st.QueueDepth != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}

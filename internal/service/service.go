@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"os"
@@ -90,7 +91,13 @@ type Server struct {
 	sim machine.Config // simulated machine the planner costs against
 	adm *Admission
 
-	start    time.Time
+	start time.Time
+	// drainMu orders inflight.Add against Drain's draining transition:
+	// every request either registers with inflight before Drain flips the
+	// flag (and is therefore seen by inflight.Wait) or observes the flag
+	// and is rejected. It also keeps Add from running on a zero counter
+	// concurrently with Wait, which WaitGroup forbids.
+	drainMu  sync.Mutex
 	inflight sync.WaitGroup
 	draining atomic.Bool
 	reqSeq   atomic.Int64
@@ -149,7 +156,9 @@ func (s *Server) Close() error { return s.db.Close() }
 // ones and joins abandoned by their clients — has finished, or ctx
 // expires.
 func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
 	s.draining.Store(true)
+	s.drainMu.Unlock()
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
@@ -161,6 +170,21 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-ctx.Done():
 		return fmt.Errorf("service: drain interrupted: %w", ctx.Err())
 	}
+}
+
+// beginRequest registers one unit of in-flight work with the drain
+// waiter, or reports false if the server is draining. Callers that get
+// true must s.inflight.Done() when the work finishes; while their
+// registration is held, further inflight.Add calls (e.g. for a child
+// goroutine) are plain WaitGroup use and need no lock.
+func (s *Server) beginRequest() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
 }
 
 // counter returns (creating on first use) a named counter.
@@ -275,19 +299,37 @@ func parseAlgorithm(name string) (join.Algorithm, bool) {
 
 func (s *Server) handleJoin(rw http.ResponseWriter, r *http.Request) {
 	s.inc("join_requests_total")
-	if s.draining.Load() {
+	// Register with the drain waiter before anything else: once past
+	// this point the request — including its admission wait and any
+	// join goroutine it spawns — is visible to Drain's inflight.Wait,
+	// so Drain cannot return (and the caller cannot unmap the db) while
+	// this request might still read it.
+	if !s.beginRequest() {
 		s.inc("rejected_draining")
 		writeJSON(rw, http.StatusServiceUnavailable, map[string]string{"error": "draining"})
 		return
 	}
+	defer s.inflight.Done()
 
 	var req JoinRequest
 	if r.Body != nil {
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err.Error() != "EOF" {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
 			s.inc("bad_requests")
 			writeJSON(rw, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
 			return
 		}
+	}
+	// K sizes real per-partition bucket state in Grace/hybrid-hash
+	// (D·K index slices plus D·K temp files), entirely outside the
+	// memory grant the admission controller charges — so an absurd wire
+	// value must be rejected here, not trusted. More buckets than R
+	// objects can never help; mstore additionally clamps K to the
+	// per-partition reference count.
+	if maxK := s.db.CountR(); req.K < 0 || req.K > maxK {
+		s.inc("bad_requests")
+		writeJSON(rw, http.StatusBadRequest,
+			map[string]string{"error": fmt.Sprintf("k=%d out of range [0..%d]", req.K, maxK)})
+		return
 	}
 	grant := req.MemBytes
 	if grant <= 0 {
@@ -357,6 +399,8 @@ func (s *Server) handleJoin(rw http.ResponseWriter, r *http.Request) {
 	tmp := filepath.Join(s.cfg.Dir, "tmp", fmt.Sprintf("req%d", s.reqSeq.Add(1)))
 	execStart := time.Now()
 	done := make(chan outcome, 1)
+	// The handler's own registration is still held here, so this Add
+	// runs on a non-zero counter and needs no drainMu.
 	s.inflight.Add(1)
 	go func() {
 		defer s.inflight.Done()
@@ -434,6 +478,14 @@ type LookupResponse struct {
 
 func (s *Server) handleLookup(rw http.ResponseWriter, r *http.Request) {
 	s.inc("lookups_total")
+	// Lookups dereference the mapping too, so they register with the
+	// drain waiter for the same unmap-safety reason joins do.
+	if !s.beginRequest() {
+		s.inc("rejected_draining")
+		writeJSON(rw, http.StatusServiceUnavailable, map[string]string{"error": "draining"})
+		return
+	}
+	defer s.inflight.Done()
 	part, err1 := strconv.Atoi(r.URL.Query().Get("part"))
 	index, err2 := strconv.Atoi(r.URL.Query().Get("index"))
 	if err1 != nil || err2 != nil || part < 0 || part >= s.db.D {

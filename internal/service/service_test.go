@@ -111,6 +111,16 @@ func TestServeRejectsBadRequests(t *testing.T) {
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversized grant: status %d", resp.StatusCode)
 	}
+	// Wire K sizes bucket state outside the admission grant, so absurd
+	// values are rejected instead of trusted.
+	resp, _ = postJoin(t, ts, JoinRequest{Algorithm: "grace", K: -1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative k: status %d", resp.StatusCode)
+	}
+	resp, _ = postJoin(t, ts, JoinRequest{Algorithm: "grace", K: s.db.CountR() + 1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("absurd k: status %d", resp.StatusCode)
+	}
 }
 
 // TestServeSaturationBackpressure fills the budget, shows a queue-less
@@ -257,6 +267,12 @@ func TestServeGracefulDrain(t *testing.T) {
 	if resp, _ := postJoin(t, ts, JoinRequest{}); resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("join while draining: %d", resp.StatusCode)
 	}
+	// Lookups read the mapping too, so drain refuses them as well.
+	if resp, err := ts.Client().Get(ts.URL + "/lookup?part=0&index=0"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("lookup while draining: %d", resp.StatusCode)
+	}
 
 	close(block) // let the in-flight join finish
 	if err := <-drained; err != nil {
@@ -265,6 +281,56 @@ func TestServeGracefulDrain(t *testing.T) {
 	r := <-inflight
 	if r.code != http.StatusOK || r.jr.Pairs != s.db.ExpectedStats().Pairs {
 		t.Fatalf("in-flight join during drain: %+v", r)
+	}
+}
+
+// TestServeDrainWaitsForAdmissionQueuedJoin pins the drain/inflight
+// ordering: a request still waiting in the admission queue has not yet
+// spawned its join goroutine, but it registered with the drain waiter on
+// arrival, so Drain must not return — and the caller must not unmap the
+// database — until that request has run to completion.
+func TestServeDrainWaitsForAdmissionQueuedJoin(t *testing.T) {
+	const budget = 1 << 20
+	s := newTestServer(t, 300, Config{MemBudget: budget})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if err := s.adm.Acquire(context.Background(), budget); err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan result2, 1)
+	go func() {
+		resp, jr := postJoin(t, ts, JoinRequest{MemBytes: budget})
+		queued <- result2{resp.StatusCode, jr}
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.adm.Stats().QueueDepth == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	waitDraining(t, s)
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned (err=%v) while a request sat in the admission queue", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	s.adm.Release(budget) // un-gate the queued join
+	if err := <-drained; err != nil {
+		t.Fatal(err)
+	}
+	r := <-queued
+	if r.code != http.StatusOK || r.jr.Pairs != s.db.ExpectedStats().Pairs {
+		t.Fatalf("queued join during drain: %+v", r)
 	}
 }
 
