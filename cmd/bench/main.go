@@ -69,13 +69,25 @@ type microbench struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
+// hostInfo stamps every baseline with the machine it was measured on,
+// so speedup numbers are read against the CPU count that bounds them.
+type hostInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+func currentHost() hostInfo {
+	return hostInfo{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+}
+
 type report struct {
-	Schema string `json:"schema"`
-	Host   struct {
-		GoVersion  string `json:"go_version"`
-		GOMAXPROCS int    `json:"gomaxprocs"`
-		NumCPU     int    `json:"num_cpu"`
-	} `json:"host"`
+	Schema string   `json:"schema"`
+	Host   hostInfo `json:"host"`
 	Sweep struct {
 		Panel           string    `json:"panel"`
 		Objects         int       `json:"objects"`
@@ -113,17 +125,28 @@ func main() {
 	out := flag.String("out", "BENCH_sweep.json", "output path for the JSON baseline")
 	baseSweepNs := flag.Int64("baseline-sweep-ns", 0,
 		"externally measured pre-optimization sequential wall-clock for the same panel (ns)")
+	msObjects := flag.Int("mstore-objects", 300000, "objects per relation for the mstore join panel")
+	msD := flag.Int("mstore-d", 4, "partitions for the mstore join panel")
+	msRuns := flag.Int("mstore-runs", 3, "repetitions per mstore panel point (best is kept)")
+	msOut := flag.String("mstore-out", "BENCH_mstore.json", "output path for the mstore panel baseline")
+	msOnly := flag.Bool("mstore-only", false, "run only the mstore join panel (CI smoke)")
 	flag.Parse()
 	if *parallel < 1 {
 		fmt.Fprintf(os.Stderr, "bench: -parallel must be >= 1, got %d\n", *parallel)
 		os.Exit(2)
 	}
 
+	if *msOnly {
+		if err := runMstorePanel(*msObjects, *msD, *msRuns, *msOut); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	var r report
 	r.Schema = "mmjoin-bench/v1"
-	r.Host.GoVersion = runtime.Version()
-	r.Host.GOMAXPROCS = runtime.GOMAXPROCS(0)
-	r.Host.NumCPU = runtime.NumCPU()
+	r.Host = currentHost()
 
 	cfg := machine.DefaultConfig()
 	spec := relation.DefaultSpec()
@@ -247,6 +270,12 @@ func main() {
 		r.Kernel.EventsPerSec, r.Kernel.DispatchPingPong.NsPerOp, r.Kernel.DispatchPingPong.AllocsPerOp,
 		baselineDispatchPingPongNs, int64(baselineDispatchPingPongAllocs))
 	fmt.Printf("baseline written to %s\n", *out)
+
+	fmt.Fprintln(os.Stderr, "bench: mstore join panel...")
+	if err := runMstorePanel(*msObjects, *msD, *msRuns, *msOut); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
 }
 
 // runMicro runs fn under the testing.Benchmark harness and extracts the

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"slices"
+	"time"
+
+	"mmjoin/internal/join"
+	"mmjoin/internal/mstore"
+)
+
+// The mstore panel measures the real (wall-clock) joins over a mapped
+// database at several morsel-pool sizes and writes BENCH_mstore.json.
+// Alongside the timings it checks the determinism contract: JoinStats
+// (Pairs and Signature) must be bit-identical at every worker count.
+//
+// The workers axis is {1, D, GOMAXPROCS}: 1 is the sequential floor, D
+// is what the paper's thread-per-partition structure would use, and
+// GOMAXPROCS is the morsel pool's default. The speedup of GOMAXPROCS
+// over D is the payoff of decoupling CPU parallelism from data layout —
+// bounded by the host's CPUs, which is why the report embeds them.
+
+type mstorePoint struct {
+	Workers int   `json:"workers"`
+	Runs    int   `json:"runs"`
+	BestNs  int64 `json:"best_ns"`
+}
+
+type mstoreAlgo struct {
+	Algorithm string `json:"algorithm"`
+	Pairs     int64  `json:"pairs"`
+	// Signature is identical at every workers value (verified).
+	Signature string        `json:"signature"`
+	Points    []mstorePoint `json:"points"`
+	// SpeedupMaxVsD is best_ns at workers=D over best_ns at
+	// workers=GOMAXPROCS (>1 means the pool beats thread-per-partition).
+	SpeedupMaxVsD float64 `json:"speedup_gomaxprocs_vs_d"`
+}
+
+type mstoreReport struct {
+	Schema     string       `json:"schema"`
+	Host       hostInfo     `json:"host"`
+	Objects    int          `json:"objects"`
+	D          int          `json:"d"`
+	ObjSize    int          `json:"obj_size"`
+	MRproc     int64        `json:"mrproc_bytes"`
+	Note       string       `json:"note"`
+	Algorithms []mstoreAlgo `json:"algorithms"`
+}
+
+// runMstorePanel creates a throwaway database and times NL/SM/Grace
+// across the workers axis, writing the JSON baseline to out.
+func runMstorePanel(objects, d, runs int, out string) error {
+	dir, err := os.MkdirTemp("", "mmjoin-bench-mstore")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	db, err := mstore.CreateDB(filepath.Join(dir, "db"), d, objects, objects, 64, 42)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	want := db.ExpectedStats()
+
+	workerAxis := []int{1, d, runtime.GOMAXPROCS(0)}
+	slices.Sort(workerAxis)
+	workerAxis = slices.Compact(workerAxis)
+
+	const mrproc = 1 << 20
+	r := mstoreReport{
+		Schema:  "mmjoin-bench-mstore/v1",
+		Host:    currentHost(),
+		Objects: objects, D: d, ObjSize: 64, MRproc: mrproc,
+		Note: fmt.Sprintf("wall-clock best of %d; speedup is bounded by the host CPUs "+
+			"(num_cpu=%d) — on a single-CPU host the workers curve is flat by construction",
+			runs, runtime.NumCPU()),
+	}
+
+	for _, alg := range []join.Algorithm{join.NestedLoops, join.SortMerge, join.Grace} {
+		a := mstoreAlgo{
+			Algorithm: alg.String(),
+			Pairs:     want.Pairs,
+			Signature: fmt.Sprintf("%016x", want.Signature),
+		}
+		bestAt := map[int]int64{}
+		for _, w := range workerAxis {
+			best := int64(1<<63 - 1)
+			for run := 0; run < runs; run++ {
+				tmp := filepath.Join(dir, fmt.Sprintf("tmp-%s-%d-%d", alg, w, run))
+				start := time.Now()
+				st, err := db.Run(mstore.JoinRequest{
+					Algorithm: alg, MRproc: mrproc, Workers: w, TmpDir: tmp,
+				})
+				el := time.Since(start).Nanoseconds()
+				if err != nil {
+					return fmt.Errorf("%v workers=%d: %w", alg, w, err)
+				}
+				if st != want {
+					return fmt.Errorf("%v workers=%d: stats %+v, want %+v (determinism violated)", alg, w, st, want)
+				}
+				best = min(best, el)
+			}
+			bestAt[w] = best
+			a.Points = append(a.Points, mstorePoint{Workers: w, Runs: runs, BestNs: best})
+		}
+		a.SpeedupMaxVsD = round2(float64(bestAt[d]) / float64(bestAt[runtime.GOMAXPROCS(0)]))
+		r.Algorithms = append(r.Algorithms, a)
+		fmt.Printf("mstore %-12s: ", alg)
+		for _, pt := range a.Points {
+			fmt.Printf("w=%d %.0fms  ", pt.Workers, time.Duration(pt.BestNs).Seconds()*1000)
+		}
+		fmt.Printf("speedup(GOMAXPROCS vs D) %.2fx\n", a.SpeedupMaxVsD)
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&r); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("mstore baseline written to %s\n", out)
+	return nil
+}

@@ -6,9 +6,9 @@
 // Usage:
 //
 //	mmdb create -dir DIR [-objects N] [-d D] [-objsize B] [-seed N]
-//	mmdb join   -dir DIR [-alg all|auto|nested-loops|sort-merge|grace|hybrid-hash] [-k K] [-mrproc B]
-//	mmdb bench  -dir DIR [-runs N]
-//	mmdb serve  -dir DIR [-addr :PORT] [-membudget B] [-maxqueue N]
+//	mmdb join   -dir DIR [-alg all|auto|nested-loops|sort-merge|grace|hybrid-hash] [-k K] [-mrproc B] [-workers N]
+//	mmdb bench  -dir DIR [-runs N] [-workers N]
+//	mmdb serve  -dir DIR [-addr :PORT] [-membudget B] [-maxqueue N] [-workers N]
 package main
 
 import (
@@ -66,6 +66,7 @@ func cmdServe(args []string) {
 	maxQueue := fs.Int("maxqueue", 0, "admission queue bound (0: default, <0: no queue)")
 	timeout := fs.Duration("timeout", 0, "per-request timeout (0: default)")
 	calOps := fs.Int("calops", 0, "planner calibration effort (0: default)")
+	workers := fs.Int("workers", 0, "shared morsel-pool size for all joins (0: GOMAXPROCS)")
 	drainWait := fs.Duration("drainwait", 30*time.Second, "graceful drain limit on SIGTERM")
 	fs.Parse(args)
 	if *dir == "" {
@@ -75,7 +76,7 @@ func cmdServe(args []string) {
 	s, err := service.New(service.Config{
 		Dir: *dir, D: *d,
 		MemBudget: *budget, DefaultGrant: *grant, MaxQueue: *maxQueue,
-		RequestTimeout: *timeout, CalibrationOps: *calOps,
+		RequestTimeout: *timeout, CalibrationOps: *calOps, Workers: *workers,
 	})
 	if err != nil {
 		fatal(err)
@@ -169,6 +170,7 @@ func cmdJoin(args []string) {
 	d := fs.Int("d", 4, "partitions the database was created with")
 	k := fs.Int("k", 0, "Grace bucket count (0: derive from -mrproc)")
 	mrproc := fs.Int64("mrproc", 1<<20, "private memory grant per partition goroutine, bytes")
+	workers := fs.Int("workers", 0, "morsel-pool size, the CPU parallelism (0: GOMAXPROCS)")
 	fs.Parse(args)
 	if *dir == "" {
 		fatal(fmt.Errorf("join: -dir required"))
@@ -182,7 +184,7 @@ func cmdJoin(args []string) {
 
 	run := func(a join.Algorithm) {
 		start := time.Now()
-		st, err := db.Run(mstore.JoinRequest{Algorithm: a, MRproc: *mrproc, K: *k})
+		st, err := db.Run(mstore.JoinRequest{Algorithm: a, MRproc: *mrproc, K: *k, Workers: *workers})
 		if err != nil {
 			fatal(err)
 		}
@@ -229,6 +231,7 @@ func cmdBench(args []string) {
 	runs := fs.Int("runs", 3, "repetitions per algorithm")
 	k := fs.Int("k", 0, "Grace bucket count (0: derive from -mrproc)")
 	mrproc := fs.Int64("mrproc", 1<<20, "private memory grant per partition goroutine, bytes")
+	workers := fs.Int("workers", 0, "morsel-pool size, the CPU parallelism (0: GOMAXPROCS)")
 	fs.Parse(args)
 	if *dir == "" {
 		fatal(fmt.Errorf("bench: -dir required"))
@@ -243,7 +246,7 @@ func cmdBench(args []string) {
 		best := time.Duration(1<<63 - 1)
 		for r := 0; r < *runs; r++ {
 			start := time.Now()
-			if _, err := db.Run(mstore.JoinRequest{Algorithm: a, MRproc: *mrproc, K: *k}); err != nil {
+			if _, err := db.Run(mstore.JoinRequest{Algorithm: a, MRproc: *mrproc, K: *k, Workers: *workers}); err != nil {
 				fatal(err)
 			}
 			if el := time.Since(start); el < best {

@@ -1,0 +1,238 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunExecutesEveryTask(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var n atomic.Int64
+	tasks := make([]Task, 100)
+	for i := range tasks {
+		tasks[i] = func(int) error { n.Add(1); return nil }
+	}
+	if err := p.Run(context.Background(), tasks); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 100 {
+		t.Fatalf("executed %d of 100 tasks", n.Load())
+	}
+	st := p.Stats()
+	if st.Executed != 100 || st.Jobs != 1 || st.Queued != 0 || st.Busy != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestRunRangesCoversExactly(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	seen := make([]atomic.Int32, 1000)
+	err := p.RunRanges(context.Background(), 1000, 64, func(w, lo, hi int) error {
+		if w < 0 || w >= 3 {
+			return fmt.Errorf("worker id %d out of range", w)
+		}
+		for x := lo; x < hi; x++ {
+			seen[x].Add(1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := range seen {
+		if seen[x].Load() != 1 {
+			t.Fatalf("object %d covered %d times", x, seen[x].Load())
+		}
+	}
+}
+
+func TestWorkerIDsIndexPerWorkerState(t *testing.T) {
+	// The contract callers rely on for unsynchronized per-worker
+	// accumulators: at most one task runs per worker id at any time.
+	const workers = 4
+	p := NewPool(workers)
+	defer p.Close()
+	var inUse [workers]atomic.Bool
+	err := p.RunRanges(context.Background(), 2000, 10, func(w, lo, hi int) error {
+		if !inUse[w].CompareAndSwap(false, true) {
+			return fmt.Errorf("worker %d entered twice", w)
+		}
+		time.Sleep(10 * time.Microsecond)
+		inUse[w].Store(false)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReturnsFirstErrorAndSkipsRest(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	boom := errors.New("boom")
+	var after atomic.Int64
+	tasks := []Task{func(int) error { return boom }}
+	for i := 0; i < 500; i++ {
+		tasks = append(tasks, func(int) error { after.Add(1); return nil })
+	}
+	if err := p.Run(context.Background(), tasks); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Some tasks may have raced ahead of the failure, but the bulk of the
+	// job must have been skipped.
+	if p.Stats().Skipped == 0 {
+		t.Fatalf("no tasks skipped after failure (ran %d)", after.Load())
+	}
+}
+
+func TestRunPanicFailsJobNotPool(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	err := p.Run(context.Background(), []Task{func(int) error { panic("kaboom") }})
+	if err == nil || err.Error() != "exec: task panicked: kaboom" {
+		t.Fatalf("err = %v", err)
+	}
+	// The pool survives and keeps executing.
+	if err := p.Run(context.Background(), []Task{func(int) error { return nil }}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCancellationSkipsQueuedButWaitsForInflight(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var inflightDone, ran atomic.Bool
+	var tasks []Task
+	for i := 0; i < 50; i++ {
+		tasks = append(tasks, func(int) error { ran.Store(true); return nil })
+	}
+	// A worker pops its own deque LIFO, so the last-submitted task runs
+	// first on a 1-worker pool; the rest stay queued behind it.
+	tasks = append(tasks, func(int) error {
+		close(started)
+		<-release
+		inflightDone.Store(true)
+		return nil
+	})
+	errc := make(chan error, 1)
+	go func() { errc <- p.Run(ctx, tasks) }()
+	<-started
+	cancel()
+	// Run must not return while the first task still executes.
+	select {
+	case err := <-errc:
+		t.Fatalf("Run returned %v with a task in flight", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if !inflightDone.Load() {
+		t.Fatal("Run returned before the in-flight task finished")
+	}
+	if ran.Load() {
+		t.Error("queued task of a cancelled job was executed")
+	}
+}
+
+func TestStealingBalancesOneHotDeque(t *testing.T) {
+	// One job whose tasks all land ahead of a sleeping worker: with
+	// round-robin distribution over 4 workers and tasks that block until
+	// everyone participates, stealing must occur for the job to finish.
+	const workers = 4
+	p := NewPool(workers)
+	defer p.Close()
+	var participated sync.Map
+	err := p.RunRanges(context.Background(), 400, 1, func(w, lo, hi int) error {
+		participated.Store(w, true)
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	participated.Range(func(any, any) bool { n++; return true })
+	if n < 2 {
+		t.Skipf("only %d workers participated (single-CPU scheduling)", n)
+	}
+	if p.Stats().Steals == 0 {
+		t.Log("note: no steals observed; round-robin kept deques balanced")
+	}
+}
+
+func TestConcurrentJobsShareTheBound(t *testing.T) {
+	const workers = 2
+	p := NewPool(workers)
+	defer p.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := p.RunRanges(context.Background(), 200, 7, func(w, lo, hi int) error {
+				time.Sleep(5 * time.Microsecond)
+				return nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.PeakBusy > workers {
+		t.Fatalf("peak occupancy %d exceeds pool size %d", st.PeakBusy, workers)
+	}
+	if st.Jobs != 8 {
+		t.Fatalf("jobs = %d", st.Jobs)
+	}
+}
+
+func TestRunAfterCloseFails(t *testing.T) {
+	p := NewPool(1)
+	p.Close()
+	if err := p.Run(context.Background(), []Task{func(int) error { return nil }}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCloseDrainsQueuedWork(t *testing.T) {
+	p := NewPool(1)
+	var n atomic.Int64
+	errc := make(chan error, 1)
+	go func() {
+		errc <- p.RunRanges(context.Background(), 500, 1, func(int, int, int) error {
+			n.Add(1)
+			return nil
+		})
+	}()
+	// Close concurrently with the running job: workers must drain it.
+	time.Sleep(time.Millisecond)
+	p.Close()
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 500 {
+		t.Fatalf("drained %d of 500", n.Load())
+	}
+}
+
+func TestNewPoolDefaultsToGOMAXPROCS(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if p.Workers() < 1 {
+		t.Fatalf("workers = %d", p.Workers())
+	}
+}

@@ -88,6 +88,16 @@ type Params struct {
 	K, TSize int
 	Fuzz     float64 // Grace hash-table overhead allowance; 0 ⇒ 1.2
 
+	// Workers is the CPU parallelism of a real-store execution
+	// (mstore.JoinRequest.Workers): the size of the morsel pool; 0 ⇒
+	// GOMAXPROCS. The simulator ignores it — the paper's model has one
+	// process per partition by construction — and the planner's cost
+	// math never reads it: MRproc, K, and the resident fraction describe
+	// how the data and memory are laid out, which is the same no matter
+	// how many OS threads execute the morsels. Workers changes only
+	// elapsed wall-clock time, never the I/O or memory the model counts.
+	Workers int
+
 	// Policy selects the pagers' replacement algorithm. The default LRU
 	// approximates a mature Unix pager; FIFO approximates the "simple"
 	// Dynix replacement of the paper's testbed and thrashes earlier.

@@ -1,0 +1,100 @@
+package mstore
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// GrowCapacity extends the relation's data area in place to hold at
+// least newCap objects, growing the backing segment as needed. It is
+// only valid while the relation's data area is the segment's top
+// allocation (always true for the throwaway relations the joins create,
+// which allocate header then data and nothing else); virtual pointers
+// into the relation stay valid because they are offsets.
+func (r *Relation) GrowCapacity(newCap int) error {
+	cur := r.Capacity()
+	if newCap <= cur {
+		return nil
+	}
+	end := (int64(r.data) + int64(cur)*r.size + allocAlign - 1) &^ (allocAlign - 1)
+	if top := int64(r.seg.allocTop()); top != end {
+		return fmt.Errorf("mstore: cannot grow relation in %s: data area [..%d) is not the top allocation (%d)",
+			r.seg.Path(), end, top)
+	}
+	newEnd := (int64(r.data) + int64(newCap)*r.size + allocAlign - 1) &^ (allocAlign - 1)
+	if err := r.seg.Grow(newEnd); err != nil {
+		return err
+	}
+	r.seg.setAllocTop(Ptr(newEnd))
+	r.seg.PutU64(r.hdr+8, uint64(newCap))
+	return nil
+}
+
+// SetCount publishes the number of stored objects directly, for writers
+// that fill slots out of band (Appender, slot scatter) instead of going
+// through Append.
+func (r *Relation) SetCount(n int) { r.seg.PutU64(r.hdr, uint64(n)) }
+
+// Appender lets many pool workers append into one relation
+// concurrently: each append claims a slot with a single atomic add and
+// copies without locking, so the hot path replaces the old
+// mutex-guarded bucket appends. Capacity overflow takes the write lock
+// and grows the relation (remapping the segment), which is why every
+// slot write holds the read lock — the mapping must not move under a
+// copy in progress.
+//
+// Appends land in nondeterministic order under concurrency; callers
+// must not depend on relation order (the joins fold order-independent
+// sums, so they do not). Seal publishes the final count; until then the
+// relation header's count is stale and Count/Object must not be used.
+type Appender struct {
+	rel *Relation
+	mu  sync.RWMutex // read-held across slot writes, write-held to grow
+	cap int64        // cached capacity, updated under mu
+	n   atomic.Int64 // next free slot
+}
+
+// NewAppender wraps a relation for concurrent appends.
+func NewAppender(rel *Relation) *Appender {
+	return &Appender{rel: rel, cap: int64(rel.Capacity())}
+}
+
+// Relation returns the underlying relation (valid to read after Seal).
+func (a *Appender) Relation() *Relation { return a.rel }
+
+// Append claims the next slot and copies obj into it, growing the
+// relation when the measured capacity was undersized.
+func (a *Appender) Append(obj []byte) error {
+	if int64(len(obj)) != a.rel.size {
+		return fmt.Errorf("mstore: append of %d bytes to %d-byte relation", len(obj), a.rel.size)
+	}
+	idx := a.n.Add(1) - 1
+	for {
+		a.mu.RLock()
+		if idx < a.cap {
+			copy(a.rel.seg.Bytes(a.rel.PtrAt(int(idx)), a.rel.size), obj)
+			a.mu.RUnlock()
+			return nil
+		}
+		a.mu.RUnlock()
+		a.mu.Lock()
+		if idx >= a.cap {
+			newCap := max(a.cap*2, idx+1, 16)
+			if err := a.rel.GrowCapacity(int(newCap)); err != nil {
+				a.mu.Unlock()
+				return err
+			}
+			a.cap = int64(a.rel.Capacity())
+		}
+		a.mu.Unlock()
+	}
+}
+
+// Len returns the number of appended objects so far.
+func (a *Appender) Len() int { return int(a.n.Load()) }
+
+// Seal publishes the appended count into the relation header. Call it
+// only after every concurrent Append has returned (a pool-stage
+// barrier); the relation is then safe for ordinary reads.
+func (a *Appender) Seal() { a.rel.SetCount(int(a.n.Load())) }

@@ -3,7 +3,6 @@ package mstore
 import (
 	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -161,14 +160,19 @@ func (a *JoinStats) fold(b JoinStats) {
 }
 
 // pairHash signs one joined pair by the R object's id and the S object's
-// identity word, independent of processing order.
+// identity word, independent of processing order. It is FNV-1a over the
+// two words' little-endian bytes, unrolled so the per-pair hot path does
+// not allocate a hasher (bit-identical to hash/fnv's New64a).
 func pairHash(rid uint64, sWord uint64) uint64 {
-	h := fnv.New64a()
-	var buf [16]byte
-	binary.LittleEndian.PutUint64(buf[:], rid)
-	binary.LittleEndian.PutUint64(buf[8:], sWord)
-	h.Write(buf[:])
-	return h.Sum64()
+	const offset64, prime64 = uint64(14695981039346656037), uint64(1099511628211)
+	h := offset64
+	for s := 0; s < 64; s += 8 {
+		h = (h ^ (rid >> s & 0xff)) * prime64
+	}
+	for s := 0; s < 64; s += 8 {
+		h = (h ^ (sWord >> s & 0xff)) * prime64
+	}
+	return h
 }
 
 // ExpectedStats computes the canonical join result directly from the

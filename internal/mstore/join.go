@@ -1,18 +1,34 @@
 package mstore
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
-	"sync"
+	"sync/atomic"
 
+	"mmjoin/internal/exec"
 	"mmjoin/internal/pheap"
 )
 
-// joinOne dereferences the join attribute of one R object through the
-// mapped S partition and folds the pair into st.
+// The joins are morsel-driven: each pass decomposes into fixed-size
+// object-range tasks pulled by a work-stealing pool (internal/exec)
+// whose size is the host CPU parallelism, independent of D. The paper's
+// structural parallelism — one Rproc per disk partition — survives as
+// the shape of the task lists (per-partition scans, staggered probe
+// order), but the number of goroutines touching the mapping at once is
+// the pool's, so a 16-core host saturates on a D=4 database and a
+// server running many joins on one shared pool never oversubscribes.
+//
+// Every morsel folds into a per-worker JoinStats accumulator and the
+// accumulators are summed at the end. Pairs and Signature are
+// commutative sums, so results are bit-identical at any worker count
+// and under any steal schedule.
+
+// joinOne dereferences one R object's stored pointer through the
+// mapping and folds the pair into st.
 func (db *DB) joinOne(obj []byte, st *JoinStats) {
 	ptr := DecodeSPtr(obj)
 	s := db.S[ptr.Part].At(ptr.Off)
@@ -21,32 +37,92 @@ func (db *DB) joinOne(obj []byte, st *JoinStats) {
 		binary.LittleEndian.Uint64(s))
 }
 
-// runParallel runs fn for every partition on its own goroutine and folds
-// the per-partition stats and errors.
-func (db *DB) runParallel(fn func(i int) (JoinStats, error)) (JoinStats, error) {
-	stats := make([]JoinStats, db.D)
-	errs := make([]error, db.D)
-	var wg sync.WaitGroup
-	for i := 0; i < db.D; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			stats[i], errs[i] = fn(i)
-		}(i)
-	}
-	wg.Wait()
-	var total JoinStats
-	for i := 0; i < db.D; i++ {
-		if errs[i] != nil {
-			return JoinStats{}, errs[i]
-		}
-		total.fold(stats[i])
-	}
-	return total, nil
+// morselObjs is the fixed morsel size: the number of objects one
+// work-stealing task covers. Around 4k objects a morsel is a few
+// hundred microseconds of work — coarse enough that pool bookkeeping
+// (two mutex ops per morsel) vanishes, fine enough to balance skew.
+const morselObjs = 4096
+
+// paddedStats is one worker's JoinStats accumulator padded to a cache
+// line so concurrent workers do not false-share.
+type paddedStats struct {
+	JoinStats
+	_ [48]byte
 }
 
-// tmpRelation creates a throwaway relation file under dir.
+type perWorker []paddedStats
+
+func newPerWorker(p *exec.Pool) perWorker { return make(perWorker, p.Workers()) }
+
+// total folds the per-worker accumulators; the fold is a commutative
+// sum, so the result is independent of which worker ran which morsel.
+func (s perWorker) total() JoinStats {
+	var t JoinStats
+	for i := range s {
+		t.fold(s[i].JoinStats)
+	}
+	return t
+}
+
+// rangeTasks appends one task per morselObjs-sized range of [0, n).
+func rangeTasks(tasks []exec.Task, n int, fn func(w, lo, hi int) error) []exec.Task {
+	for lo := 0; lo < n; lo += morselObjs {
+		lo, hi := lo, min(lo+morselObjs, n)
+		tasks = append(tasks, func(w int) error { return fn(w, lo, hi) })
+	}
+	return tasks
+}
+
+// refCounts measures the pointer distribution of R morsel-parallel:
+// counts[i][j] is the number of Ri objects referencing partition Sj.
+// The joins size their temporary relations from this measure instead of
+// assuming worst-case |Ri| per file.
+func (db *DB) refCounts(ctx context.Context, p *exec.Pool) ([][]int64, error) {
+	d := db.D
+	counts := make([][]int64, d)
+	for i := range counts {
+		counts[i] = make([]int64, d)
+	}
+	var tasks []exec.Task
+	for i, ri := range db.R {
+		tasks = rangeTasks(tasks, ri.Count(), func(_, lo, hi int) error {
+			local := make([]int64, d)
+			for x := lo; x < hi; x++ {
+				part := int(DecodeSPtr(ri.Object(x)).Part)
+				if part >= d {
+					return fmt.Errorf("mstore: R%d[%d] points to partition %d", i, x, part)
+				}
+				local[part]++
+			}
+			for j, c := range local {
+				if c != 0 {
+					atomic.AddInt64(&counts[i][j], c)
+				}
+			}
+			return nil
+		})
+	}
+	if err := p.Run(ctx, tasks); err != nil {
+		return nil, err
+	}
+	return counts, nil
+}
+
+// ephemeralPool runs fn on a pool created for this one call (GOMAXPROCS
+// workers), the execution mode of the convenience methods below; Run
+// with JoinRequest.Workers or a shared Pool controls parallelism
+// explicitly.
+func ephemeralPool(fn func(p *exec.Pool) (JoinStats, error)) (JoinStats, error) {
+	p := exec.NewPool(0)
+	defer p.Close()
+	return fn(p)
+}
+
+// tmpRelation creates a throwaway relation file under dir. Capacity 0
+// (a measured-empty partition or bucket) still allocates one slot so the
+// relation is well-formed.
 func (db *DB) tmpRelation(dir, name string, capacity int) (*Relation, error) {
+	capacity = max(capacity, 1)
 	seg, err := Create(filepath.Join(dir, name), int64(db.ObjSize)*int64(capacity)+4096)
 	if err != nil {
 		return nil, err
@@ -54,148 +130,298 @@ func (db *DB) tmpRelation(dir, name string, capacity int) (*Relation, error) {
 	return CreateRelation(seg, db.ObjSize, capacity)
 }
 
-// NestedLoops runs the parallel pointer-based nested loops join over the
-// mapped store: pass 0 scans Ri, joining own-partition references
-// immediately and sub-partitioning the rest into temporary RPi,j
-// relations; pass 1 walks the sub-partitions in staggered phases.
+// NestedLoops runs the parallel pointer-based nested loops join over
+// the mapped store on an ephemeral GOMAXPROCS-sized pool.
 func (db *DB) NestedLoops(tmpDir string) (JoinStats, error) {
-	if err := os.MkdirAll(tmpDir, 0o755); err != nil {
-		return JoinStats{}, err
-	}
-	return db.runParallel(func(i int) (JoinStats, error) {
-		var st JoinStats
-		ri := db.R[i]
-		rp := make([]*Relation, db.D)
-		for j := 0; j < db.D; j++ {
-			if j == i {
-				continue
-			}
-			rel, err := db.tmpRelation(tmpDir, fmt.Sprintf("RP%d_%d.seg", i, j), ri.Count())
-			if err != nil {
-				return st, err
-			}
-			rp[j] = rel
-		}
-		defer func() {
-			for _, rel := range rp {
-				if rel != nil {
-					rel.Segment().Delete()
-				}
-			}
-		}()
-
-		// Pass 0.
-		for x := 0; x < ri.Count(); x++ {
-			obj := ri.Object(x)
-			if part := int(DecodeSPtr(obj).Part); part == i {
-				db.joinOne(obj, &st)
-			} else if _, err := rp[part].Append(obj); err != nil {
-				return st, err
-			}
-		}
-		// Pass 1: staggered phases (no synchronization, as in §5.1).
-		for t := 1; t < db.D; t++ {
-			j := (i + t) % db.D
-			sub := rp[j]
-			for x := 0; x < sub.Count(); x++ {
-				db.joinOne(sub.Object(x), &st)
-			}
-		}
-		return st, nil
+	return ephemeralPool(func(p *exec.Pool) (JoinStats, error) {
+		return db.nestedLoops(context.Background(), p, tmpDir)
 	})
 }
 
-// SortMerge runs the parallel pointer-based sort-merge join: passes 0/1
-// form the RSj partitions (one temporary relation per writer to keep
-// appends single-writer), each RSi is concatenated and heap-sorted in
-// place by the S-pointer inside the mapped memory, and the final scan
-// reads Si in address order.
-func (db *DB) SortMerge(tmpDir string) (JoinStats, error) {
+// nestedLoops: pass 0 scans Ri in morsels, joining own-partition
+// references immediately and sub-partitioning the rest into temporary
+// RP<i,j> relations; pass 1 probes the sub-partitions in the paper's
+// staggered phase order (§5.1).
+func (db *DB) nestedLoops(ctx context.Context, p *exec.Pool, tmpDir string) (JoinStats, error) {
 	if err := os.MkdirAll(tmpDir, 0o755); err != nil {
 		return JoinStats{}, err
 	}
 	d := db.D
-	// pieces[j][i]: R objects referencing Sj found by the scanner of Ri.
-	pieces := make([][]*Relation, d)
-	for j := range pieces {
-		pieces[j] = make([]*Relation, d)
-	}
-	var mu sync.Mutex
-	_, err := db.runParallel(func(i int) (JoinStats, error) {
-		ri := db.R[i]
-		local := make([]*Relation, d)
-		for j := 0; j < d; j++ {
-			rel, err := db.tmpRelation(tmpDir, fmt.Sprintf("sm_%d_%d.seg", j, i), ri.Count())
-			if err != nil {
-				return JoinStats{}, err
-			}
-			local[j] = rel
-		}
-		for x := 0; x < ri.Count(); x++ {
-			obj := ri.Object(x)
-			if _, err := local[DecodeSPtr(obj).Part].Append(obj); err != nil {
-				return JoinStats{}, err
-			}
-		}
-		mu.Lock()
-		for j := 0; j < d; j++ {
-			pieces[j][i] = local[j]
-		}
-		mu.Unlock()
-		return JoinStats{}, nil
-	})
+	// Measured pointer distribution: counts[i][j] sizes RP<i,j> exactly.
+	// (The former sizing at |Ri| wrote D−1 full-size files per
+	// partition.) The Appender grows on overflow, so the measure is a
+	// sizing hint, not a correctness requirement.
+	counts, err := db.refCounts(ctx, p)
 	if err != nil {
 		return JoinStats{}, err
 	}
+	rp := make([][]*Appender, d)
 	defer func() {
-		for j := range pieces {
-			for i := range pieces[j] {
-				if pieces[j][i] != nil {
-					pieces[j][i].Segment().Delete()
+		for i := range rp {
+			for _, ap := range rp[i] {
+				if ap != nil {
+					ap.Relation().Segment().Delete()
 				}
 			}
 		}
 	}()
+	for i := 0; i < d; i++ {
+		rp[i] = make([]*Appender, d)
+		for j := 0; j < d; j++ {
+			if j == i {
+				continue
+			}
+			rel, err := db.tmpRelation(tmpDir, fmt.Sprintf("RP%d_%d.seg", i, j), int(counts[i][j]))
+			if err != nil {
+				return JoinStats{}, err
+			}
+			rp[i][j] = NewAppender(rel)
+		}
+	}
 
-	return db.runParallel(func(i int) (JoinStats, error) {
-		var st JoinStats
-		total := 0
-		for _, piece := range pieces[i] {
-			total += piece.Count()
-		}
-		rs, err := db.tmpRelation(tmpDir, fmt.Sprintf("RS%d.seg", i), total)
-		if err != nil {
-			return st, err
-		}
-		defer rs.Segment().Delete()
-		for _, piece := range pieces[i] {
-			for x := 0; x < piece.Count(); x++ {
-				if _, err := rs.Append(piece.Object(x)); err != nil {
-					return st, err
+	stats := newPerWorker(p)
+	// Pass 0.
+	var tasks []exec.Task
+	for i, ri := range db.R {
+		tasks = rangeTasks(tasks, ri.Count(), func(w, lo, hi int) error {
+			st := &stats[w].JoinStats
+			for x := lo; x < hi; x++ {
+				obj := ri.Object(x)
+				if part := int(DecodeSPtr(obj).Part); part == i {
+					db.joinOne(obj, st)
+				} else if err := rp[i][part].Append(obj); err != nil {
+					return err
 				}
 			}
-		}
-		// Heap-sort a pointer array over the mapped records, then apply
-		// the permutation in place so the final scan is sequential in
-		// both RSi and Si.
-		handles := make([]int32, rs.Count())
-		for h := range handles {
-			handles[h] = int32(h)
-		}
-		pheap.Sort(handles, func(a, b int32) bool {
-			return DecodeSPtr(rs.Object(int(a))).Off < DecodeSPtr(rs.Object(int(b))).Off
+			return nil
 		})
-		permuteRecords(rs, handles)
-		for x := 0; x < rs.Count(); x++ {
-			db.joinOne(rs.Object(x), &st)
+	}
+	if err := p.Run(ctx, tasks); err != nil {
+		return JoinStats{}, err
+	}
+	for i := range rp {
+		for _, ap := range rp[i] {
+			if ap != nil {
+				ap.Seal()
+			}
 		}
-		return st, nil
+	}
+
+	// Pass 1: probe morsels enqueued in staggered phase order — Rproc i
+	// probes RP<i,(i+t) mod D> at phase t — so concurrently executing
+	// morsels tend to touch different S partitions.
+	tasks = tasks[:0]
+	for t := 1; t < d; t++ {
+		for i := 0; i < d; i++ {
+			sub := rp[i][(i+t)%d].Relation()
+			tasks = rangeTasks(tasks, sub.Count(), func(w, lo, hi int) error {
+				st := &stats[w].JoinStats
+				for x := lo; x < hi; x++ {
+					db.joinOne(sub.Object(x), st)
+				}
+				return nil
+			})
+		}
+	}
+	if err := p.Run(ctx, tasks); err != nil {
+		return JoinStats{}, err
+	}
+	return stats.total(), nil
+}
+
+// SortMerge runs the parallel pointer-based sort-merge join on an
+// ephemeral GOMAXPROCS-sized pool.
+func (db *DB) SortMerge(tmpDir string) (JoinStats, error) {
+	return ephemeralPool(func(p *exec.Pool) (JoinStats, error) {
+		return db.sortMerge(context.Background(), p, tmpDir)
 	})
 }
 
-// permuteRecords reorders the relation so record x becomes the record
-// previously at handles[x], using cycle-chasing with one scratch record.
-func permuteRecords(rel *Relation, handles []int32) {
+// sortSplitCount picks how many address-range splits one RSi
+// partition-then-sort uses: enough tasks to occupy the pool across all
+// D partitions (with headroom for stealing), but never splits smaller
+// than a morsel. One worker gets one split per partition — exactly the
+// old sequential in-place sort.
+func sortSplitCount(workers, d, count int) int {
+	s := (4*workers + d - 1) / d
+	if maxS := count/morselObjs + 1; s > maxS {
+		s = maxS
+	}
+	return max(s, 1)
+}
+
+// sortMerge: passes 0/1 form the RSj partitions directly through
+// concurrent appenders (one atomic slot claim per object — the former
+// one-temp-file-per-writer pieces and their concatenation collapse);
+// each RSj is then sorted by S address via parallel partition-then-sort
+// — counted split by address range, scattered, each split heap-sorted
+// in place — and the final scan probes Si in ascending address order
+// within every split.
+func (db *DB) sortMerge(ctx context.Context, p *exec.Pool, tmpDir string) (JoinStats, error) {
+	if err := os.MkdirAll(tmpDir, 0o755); err != nil {
+		return JoinStats{}, err
+	}
+	d := db.D
+	counts, err := db.refCounts(ctx, p)
+	if err != nil {
+		return JoinStats{}, err
+	}
+	rsTotal := make([]int64, d)
+	for j := 0; j < d; j++ {
+		for i := 0; i < d; i++ {
+			rsTotal[j] += counts[i][j]
+		}
+	}
+
+	rs := make([]*Appender, d)
+	srt := make([]*Relation, d)
+	defer func() {
+		for j := 0; j < d; j++ {
+			if rs[j] != nil {
+				rs[j].Relation().Segment().Delete()
+			}
+			if srt[j] != nil {
+				srt[j].Segment().Delete()
+			}
+		}
+	}()
+	for j := 0; j < d; j++ {
+		rel, err := db.tmpRelation(tmpDir, fmt.Sprintf("RS%d.seg", j), int(rsTotal[j]))
+		if err != nil {
+			return JoinStats{}, err
+		}
+		rs[j] = NewAppender(rel)
+	}
+	var tasks []exec.Task
+	for _, ri := range db.R {
+		tasks = rangeTasks(tasks, ri.Count(), func(_, lo, hi int) error {
+			for x := lo; x < hi; x++ {
+				obj := ri.Object(x)
+				if err := rs[DecodeSPtr(obj).Part].Append(obj); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	if err := p.Run(ctx, tasks); err != nil {
+		return JoinStats{}, err
+	}
+	for j := 0; j < d; j++ {
+		rs[j].Seal()
+	}
+
+	// Partition-then-sort: split each RSj into contiguous S-address
+	// ranges so the splits sort and probe independently.
+	splits := make([]int, d)
+	starts := make([][]int64, d)   // split start offsets after prefix sums
+	cursors := make([][]atomic.Int64, d) // scatter cursors per split
+	splitOf := func(j int, off Ptr) int {
+		rel := db.S[j]
+		b := rel.IndexOf(off) * splits[j] / rel.Count()
+		if b >= splits[j] {
+			b = splits[j] - 1
+		}
+		return b
+	}
+	// Count split occupancy morsel-parallel.
+	splitCounts := make([][]int64, d)
+	tasks = tasks[:0]
+	for j := 0; j < d; j++ {
+		splits[j] = sortSplitCount(p.Workers(), d, int(rsTotal[j]))
+		splitCounts[j] = make([]int64, splits[j])
+		rel := rs[j].Relation()
+		j := j
+		tasks = rangeTasks(tasks, rel.Count(), func(_, lo, hi int) error {
+			local := make([]int64, splits[j])
+			for x := lo; x < hi; x++ {
+				local[splitOf(j, DecodeSPtr(rel.Object(x)).Off)]++
+			}
+			for b, c := range local {
+				if c != 0 {
+					atomic.AddInt64(&splitCounts[j][b], c)
+				}
+			}
+			return nil
+		})
+	}
+	if err := p.Run(ctx, tasks); err != nil {
+		return JoinStats{}, err
+	}
+	for j := 0; j < d; j++ {
+		starts[j] = make([]int64, splits[j])
+		cursors[j] = make([]atomic.Int64, splits[j])
+		off := int64(0)
+		for b := 0; b < splits[j]; b++ {
+			starts[j][b] = off
+			cursors[j][b].Store(off)
+			off += splitCounts[j][b]
+		}
+		rel, err := db.tmpRelation(tmpDir, fmt.Sprintf("SRT%d.seg", j), int(rsTotal[j]))
+		if err != nil {
+			return JoinStats{}, err
+		}
+		srt[j] = rel
+	}
+	// Scatter into the split layout (slots are claimed atomically, so no
+	// two writers touch one record; order within a split is arbitrary —
+	// the sort imposes the final order).
+	tasks = tasks[:0]
+	for j := 0; j < d; j++ {
+		src, dst := rs[j].Relation(), srt[j]
+		j := j
+		tasks = rangeTasks(tasks, src.Count(), func(_, lo, hi int) error {
+			for x := lo; x < hi; x++ {
+				obj := src.Object(x)
+				slot := cursors[j][splitOf(j, DecodeSPtr(obj).Off)].Add(1) - 1
+				copy(dst.seg.Bytes(dst.PtrAt(int(slot)), dst.size), obj)
+			}
+			return nil
+		})
+	}
+	if err := p.Run(ctx, tasks); err != nil {
+		return JoinStats{}, err
+	}
+	stats := newPerWorker(p)
+	tasks = tasks[:0]
+	for j := 0; j < d; j++ {
+		srt[j].SetCount(int(rsTotal[j]))
+		// One task per split: heap-sort a handle array over the mapped
+		// records by S pointer, apply the permutation in place, then
+		// probe — sequential in both the split and Si.
+		for b := 0; b < splits[j]; b++ {
+			rel := srt[j]
+			lo, hi := int(starts[j][b]), int(starts[j][b]+splitCounts[j][b])
+			if lo == hi {
+				continue
+			}
+			tasks = append(tasks, func(w int) error {
+				handles := make([]int32, hi-lo)
+				for h := range handles {
+					handles[h] = int32(h)
+				}
+				pheap.Sort(handles, func(a, b int32) bool {
+					return DecodeSPtr(rel.Object(lo+int(a))).Off < DecodeSPtr(rel.Object(lo+int(b))).Off
+				})
+				permuteRange(rel, lo, handles)
+				st := &stats[w].JoinStats
+				for x := lo; x < hi; x++ {
+					db.joinOne(rel.Object(x), st)
+				}
+				return nil
+			})
+		}
+	}
+	if err := p.Run(ctx, tasks); err != nil {
+		return JoinStats{}, err
+	}
+	return stats.total(), nil
+}
+
+// permuteRange reorders rel[lo : lo+len(handles)] so record lo+x
+// becomes the record previously at lo+handles[x], cycle-chasing with
+// one scratch record.
+func permuteRange(rel *Relation, lo int, handles []int32) {
 	n := len(handles)
 	visited := make([]bool, n)
 	scratch := make([]byte, rel.ObjSize())
@@ -204,27 +430,34 @@ func permuteRecords(rel *Relation, handles []int32) {
 			visited[start] = true
 			continue
 		}
-		copy(scratch, rel.Object(start))
+		copy(scratch, rel.Object(lo+start))
 		x := start
 		for {
 			src := int(handles[x])
 			visited[x] = true
 			if src == start {
-				copy(rel.Object(x), scratch)
+				copy(rel.Object(lo+x), scratch)
 				break
 			}
-			copy(rel.Object(x), rel.Object(src))
+			copy(rel.Object(lo+x), rel.Object(lo+src))
 			x = src
 		}
 	}
 }
 
-// Grace runs the parallel pointer-based Grace join: the scanners hash
-// every R object into one of k order-preserving buckets per S partition
-// (bucket files are shared, mutex-guarded appends), then each partition's
-// buckets are probed in order — an in-memory table per bucket, chains
-// walked in ascending S address.
+// Grace runs the parallel pointer-based Grace join on an ephemeral
+// GOMAXPROCS-sized pool.
 func (db *DB) Grace(tmpDir string, k int) (JoinStats, error) {
+	return ephemeralPool(func(p *exec.Pool) (JoinStats, error) {
+		return db.grace(context.Background(), p, tmpDir, k)
+	})
+}
+
+// grace: the scan morsels hash every R object into one of k
+// order-preserving buckets per S partition (concurrent atomic-claim
+// appends), then every (partition, bucket) pair probes independently —
+// an in-memory table per bucket, chains walked in ascending S address.
+func (db *DB) grace(ctx context.Context, p *exec.Pool, tmpDir string, k int) (JoinStats, error) {
 	if k < 1 {
 		return JoinStats{}, fmt.Errorf("mstore: Grace needs k >= 1, got %d", k)
 	}
@@ -232,104 +465,130 @@ func (db *DB) Grace(tmpDir string, k int) (JoinStats, error) {
 		return JoinStats{}, err
 	}
 	d := db.D
-	type lockedRel struct {
-		mu  sync.Mutex
-		rel *Relation
-	}
 	// The order-preserving hash: bucket by position of the S offset
 	// within the partition's data area.
 	bucketOf := func(ptr SPtr) int {
 		rel := db.S[ptr.Part]
-		idx := rel.IndexOf(ptr.Off)
-		b := idx * k / rel.Count()
+		b := rel.IndexOf(ptr.Off) * k / rel.Count()
 		if b >= k {
 			b = k - 1
 		}
 		return b
 	}
 
-	// Counting pass: size each bucket file exactly (a real system would
-	// size from partition statistics).
-	counts := make([][]int, d)
+	// Counting pass (morsel-parallel; it used to be a sequential scan of
+	// all of R): size each bucket file exactly.
+	counts := make([][]int64, d)
 	for j := range counts {
-		counts[j] = make([]int, k)
+		counts[j] = make([]int64, k)
 	}
-	for _, rel := range db.R {
-		for x := 0; x < rel.Count(); x++ {
-			ptr := DecodeSPtr(rel.Object(x))
-			counts[ptr.Part][bucketOf(ptr)]++
-		}
+	var tasks []exec.Task
+	for _, ri := range db.R {
+		tasks = rangeTasks(tasks, ri.Count(), func(_, lo, hi int) error {
+			for x := lo; x < hi; x++ {
+				ptr := DecodeSPtr(ri.Object(x))
+				atomic.AddInt64(&counts[ptr.Part][bucketOf(ptr)], 1)
+			}
+			return nil
+		})
 	}
-	buckets := make([][]*lockedRel, d)
-	for j := 0; j < d; j++ {
-		buckets[j] = make([]*lockedRel, k)
-		for b := 0; b < k; b++ {
-			rel, err := db.tmpRelation(tmpDir, fmt.Sprintf("gr_%d_%d.seg", j, b), counts[j][b]+1)
-			if err != nil {
-				return JoinStats{}, err
-			}
-			buckets[j][b] = &lockedRel{rel: rel}
-		}
-	}
-	defer func() {
-		for j := range buckets {
-			for _, lr := range buckets[j] {
-				lr.rel.Segment().Delete()
-			}
-		}
-	}()
-
-	if _, err := db.runParallel(func(i int) (JoinStats, error) {
-		ri := db.R[i]
-		for x := 0; x < ri.Count(); x++ {
-			obj := ri.Object(x)
-			ptr := DecodeSPtr(obj)
-			lr := buckets[ptr.Part][bucketOf(ptr)]
-			lr.mu.Lock()
-			_, err := lr.rel.Append(obj)
-			lr.mu.Unlock()
-			if err != nil {
-				return JoinStats{}, err
-			}
-		}
-		return JoinStats{}, nil
-	}); err != nil {
+	if err := p.Run(ctx, tasks); err != nil {
 		return JoinStats{}, err
 	}
 
-	return db.runParallel(func(i int) (JoinStats, error) {
-		var st JoinStats
-		for b := 0; b < k; b++ {
-			rel := buckets[i][b].rel
-			// In-memory hash table: common references share a chain.
-			table := make(map[Ptr][]int, rel.Count())
-			for x := 0; x < rel.Count(); x++ {
-				off := DecodeSPtr(rel.Object(x)).Off
-				table[off] = append(table[off], x)
-			}
-			// Chains in ascending S address: each S object is read once,
-			// sequentially.
-			offs := make([]Ptr, 0, len(table))
-			for off := range table {
-				offs = append(offs, off)
-			}
-			sort.Slice(offs, func(a, b int) bool { return offs[a] < offs[b] })
-			for _, off := range offs {
-				for _, x := range table[off] {
-					db.joinOne(rel.Object(x), &st)
+	buckets := make([][]*Appender, d)
+	defer func() {
+		for j := range buckets {
+			for _, ap := range buckets[j] {
+				if ap != nil {
+					ap.Relation().Segment().Delete()
 				}
 			}
 		}
-		return st, nil
+	}()
+	for j := 0; j < d; j++ {
+		buckets[j] = make([]*Appender, k)
+		for b := 0; b < k; b++ {
+			rel, err := db.tmpRelation(tmpDir, fmt.Sprintf("gr_%d_%d.seg", j, b), int(counts[j][b])+1)
+			if err != nil {
+				return JoinStats{}, err
+			}
+			buckets[j][b] = NewAppender(rel)
+		}
+	}
+
+	tasks = tasks[:0]
+	for _, ri := range db.R {
+		tasks = rangeTasks(tasks, ri.Count(), func(_, lo, hi int) error {
+			for x := lo; x < hi; x++ {
+				obj := ri.Object(x)
+				ptr := DecodeSPtr(obj)
+				if err := buckets[ptr.Part][bucketOf(ptr)].Append(obj); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	if err := p.Run(ctx, tasks); err != nil {
+		return JoinStats{}, err
+	}
+
+	stats := newPerWorker(p)
+	tasks = tasks[:0]
+	for j := 0; j < d; j++ {
+		for b := 0; b < k; b++ {
+			buckets[j][b].Seal()
+			rel := buckets[j][b].Relation()
+			if rel.Count() == 0 {
+				continue
+			}
+			tasks = append(tasks, func(w int) error {
+				db.probeBucket(rel, &stats[w].JoinStats)
+				return nil
+			})
+		}
+	}
+	if err := p.Run(ctx, tasks); err != nil {
+		return JoinStats{}, err
+	}
+	return stats.total(), nil
+}
+
+// probeBucket joins one bucket: an in-memory hash table where common
+// references share a chain, the chains walked in ascending S address so
+// each S object is read once, sequentially.
+func (db *DB) probeBucket(rel *Relation, st *JoinStats) {
+	table := make(map[Ptr][]int, rel.Count())
+	for x := 0; x < rel.Count(); x++ {
+		off := DecodeSPtr(rel.Object(x)).Off
+		table[off] = append(table[off], x)
+	}
+	offs := make([]Ptr, 0, len(table))
+	for off := range table {
+		offs = append(offs, off)
+	}
+	sort.Slice(offs, func(a, b int) bool { return offs[a] < offs[b] })
+	for _, off := range offs {
+		for _, x := range table[off] {
+			db.joinOne(rel.Object(x), st)
+		}
+	}
+}
+
+// HybridHash runs the parallel pointer-based hybrid-hash join on an
+// ephemeral GOMAXPROCS-sized pool.
+func (db *DB) HybridHash(tmpDir string, k int, residentFrac float64) (JoinStats, error) {
+	return ephemeralPool(func(p *exec.Pool) (JoinStats, error) {
+		return db.hybridHash(context.Background(), p, tmpDir, k, residentFrac)
 	})
 }
 
-// HybridHash runs the parallel pointer-based hybrid-hash join over the
-// mapped store: references into a resident prefix of each S partition
-// (residentFrac of its objects) join immediately during the scan and
-// never touch temporary storage; the remainder goes through Grace-style
-// ordered buckets.
-func (db *DB) HybridHash(tmpDir string, k int, residentFrac float64) (JoinStats, error) {
+// hybridHash: references into a resident prefix of each S partition
+// (residentFrac of its objects) join immediately during the scan
+// morsels and never touch temporary storage; the remainder goes through
+// Grace-style ordered buckets.
+func (db *DB) hybridHash(ctx context.Context, p *exec.Pool, tmpDir string, k int, residentFrac float64) (JoinStats, error) {
 	if k < 1 {
 		return JoinStats{}, fmt.Errorf("mstore: HybridHash needs k >= 1, got %d", k)
 	}
@@ -361,92 +620,88 @@ func (db *DB) HybridHash(tmpDir string, k int, residentFrac float64) (JoinStats,
 		return b
 	}
 
-	// Counting pass for exact bucket sizing.
-	counts := make([][]int, d)
+	// Counting pass for exact bucket sizing (morsel-parallel).
+	counts := make([][]int64, d)
 	for j := range counts {
-		counts[j] = make([]int, k)
+		counts[j] = make([]int64, k)
 	}
-	for _, rel := range db.R {
-		for x := 0; x < rel.Count(); x++ {
-			if ptr := DecodeSPtr(rel.Object(x)); !isResident(ptr) {
-				counts[ptr.Part][bucketOf(ptr)]++
+	var tasks []exec.Task
+	for _, ri := range db.R {
+		tasks = rangeTasks(tasks, ri.Count(), func(_, lo, hi int) error {
+			for x := lo; x < hi; x++ {
+				if ptr := DecodeSPtr(ri.Object(x)); !isResident(ptr) {
+					atomic.AddInt64(&counts[ptr.Part][bucketOf(ptr)], 1)
+				}
 			}
-		}
+			return nil
+		})
 	}
-	type lockedRel struct {
-		mu  sync.Mutex
-		rel *Relation
+	if err := p.Run(ctx, tasks); err != nil {
+		return JoinStats{}, err
 	}
-	buckets := make([][]*lockedRel, d)
-	for j := 0; j < d; j++ {
-		buckets[j] = make([]*lockedRel, k)
-		for b := 0; b < k; b++ {
-			rel, err := db.tmpRelation(tmpDir, fmt.Sprintf("hh_%d_%d.seg", j, b), counts[j][b]+1)
-			if err != nil {
-				return JoinStats{}, err
-			}
-			buckets[j][b] = &lockedRel{rel: rel}
-		}
-	}
+
+	buckets := make([][]*Appender, d)
 	defer func() {
 		for j := range buckets {
-			for _, lr := range buckets[j] {
-				lr.rel.Segment().Delete()
+			for _, ap := range buckets[j] {
+				if ap != nil {
+					ap.Relation().Segment().Delete()
+				}
 			}
 		}
 	}()
-
-	// Scan: resident references join now, the rest partition.
-	partitioned, err := db.runParallel(func(i int) (JoinStats, error) {
-		var st JoinStats
-		ri := db.R[i]
-		for x := 0; x < ri.Count(); x++ {
-			obj := ri.Object(x)
-			ptr := DecodeSPtr(obj)
-			if isResident(ptr) {
-				db.joinOne(obj, &st)
-				continue
-			}
-			lr := buckets[ptr.Part][bucketOf(ptr)]
-			lr.mu.Lock()
-			_, err := lr.rel.Append(obj)
-			lr.mu.Unlock()
+	for j := 0; j < d; j++ {
+		buckets[j] = make([]*Appender, k)
+		for b := 0; b < k; b++ {
+			rel, err := db.tmpRelation(tmpDir, fmt.Sprintf("hh_%d_%d.seg", j, b), int(counts[j][b])+1)
 			if err != nil {
-				return st, err
+				return JoinStats{}, err
 			}
+			buckets[j][b] = NewAppender(rel)
 		}
-		return st, nil
-	})
-	if err != nil {
+	}
+
+	stats := newPerWorker(p)
+	// Scan: resident references join now, the rest partition.
+	tasks = tasks[:0]
+	for _, ri := range db.R {
+		tasks = rangeTasks(tasks, ri.Count(), func(w, lo, hi int) error {
+			st := &stats[w].JoinStats
+			for x := lo; x < hi; x++ {
+				obj := ri.Object(x)
+				ptr := DecodeSPtr(obj)
+				if isResident(ptr) {
+					db.joinOne(obj, st)
+					continue
+				}
+				if err := buckets[ptr.Part][bucketOf(ptr)].Append(obj); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	if err := p.Run(ctx, tasks); err != nil {
 		return JoinStats{}, err
 	}
 
 	// Probe the overflow buckets as in Grace.
-	probed, err := db.runParallel(func(i int) (JoinStats, error) {
-		var st JoinStats
+	tasks = tasks[:0]
+	for j := 0; j < d; j++ {
 		for b := 0; b < k; b++ {
-			rel := buckets[i][b].rel
-			table := make(map[Ptr][]int, rel.Count())
-			for x := 0; x < rel.Count(); x++ {
-				off := DecodeSPtr(rel.Object(x)).Off
-				table[off] = append(table[off], x)
+			buckets[j][b].Seal()
+			rel := buckets[j][b].Relation()
+			if rel.Count() == 0 {
+				continue
 			}
-			offs := make([]Ptr, 0, len(table))
-			for off := range table {
-				offs = append(offs, off)
-			}
-			sort.Slice(offs, func(a, b int) bool { return offs[a] < offs[b] })
-			for _, off := range offs {
-				for _, x := range table[off] {
-					db.joinOne(rel.Object(x), &st)
-				}
-			}
+			tasks = append(tasks, func(w int) error {
+				db.probeBucket(rel, &stats[w].JoinStats)
+				return nil
+			})
 		}
-		return st, nil
-	})
-	if err != nil {
+	}
+	if err := p.Run(ctx, tasks); err != nil {
 		return JoinStats{}, err
 	}
-	partitioned.fold(probed)
-	return partitioned, nil
+	return stats.total(), nil
 }

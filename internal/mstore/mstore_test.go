@@ -230,7 +230,7 @@ func TestPermuteRecords(t *testing.T) {
 		handles[i] = int32(i)
 	}
 	sort.Slice(handles, func(a, b int) bool { return keys[handles[a]] < keys[handles[b]] })
-	permuteRecords(rel, handles)
+	permuteRange(rel, 0, handles)
 	prev := -1
 	for i := 0; i < rel.Count(); i++ {
 		k := int(DecodeSPtr(rel.Object(i)).Off)

@@ -1,10 +1,12 @@
 package mstore
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"path/filepath"
 
+	"mmjoin/internal/exec"
 	"mmjoin/internal/join"
 	"mmjoin/internal/relation"
 )
@@ -48,6 +50,25 @@ type JoinRequest struct {
 	// TmpDir holds the temporary partition/bucket relations; "" selects
 	// <db dir>/tmp.
 	TmpDir string
+
+	// Workers is the CPU parallelism: the size of the work-stealing pool
+	// the join's morsels run on; 0 selects GOMAXPROCS. It is orthogonal
+	// to the memory model — MRproc grants memory per data partition
+	// (the paper's Rproc, a property of the layout and of the K/resident
+	// derivations above), while Workers only decides how many OS threads
+	// chew through the morsels, touching neither per-partition memory
+	// nor the I/O pattern the cost model counts.
+	Workers int
+
+	// Pool, when non-nil, runs the join's morsels on a shared
+	// work-stealing pool instead of an ephemeral one (Workers is then
+	// ignored). A server points every in-flight join at one pool so total
+	// CPU fan-out stays bounded by the host.
+	Pool *exec.Pool
+
+	// Ctx, when non-nil, cancels the join between morsels; nil means
+	// context.Background().
+	Ctx context.Context
 }
 
 // withDefaults folds derived defaults into the request, mirroring
@@ -154,20 +175,33 @@ func (db *DB) CountS() int {
 // Run validates the request, folds in derived defaults, and executes the
 // selected algorithm over the mapped store. It is safe for concurrent
 // use by multiple goroutines as long as each call gets its own TmpDir
-// (the base relations are only read).
+// (the base relations are only read); concurrent calls sharing req.Pool
+// additionally share its CPU bound.
 func (db *DB) Run(req JoinRequest) (JoinStats, error) {
 	if err := req.withDefaults(db); err != nil {
 		return JoinStats{}, err
 	}
+	if req.Workers < 0 {
+		return JoinStats{}, fmt.Errorf("mstore: negative worker count %d", req.Workers)
+	}
+	ctx := req.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p := req.Pool
+	if p == nil {
+		p = exec.NewPool(req.Workers)
+		defer p.Close()
+	}
 	switch req.Algorithm {
 	case join.NestedLoops:
-		return db.NestedLoops(req.TmpDir)
+		return db.nestedLoops(ctx, p, req.TmpDir)
 	case join.SortMerge:
-		return db.SortMerge(req.TmpDir)
+		return db.sortMerge(ctx, p, req.TmpDir)
 	case join.Grace:
-		return db.Grace(req.TmpDir, req.K)
+		return db.grace(ctx, p, req.TmpDir, req.K)
 	default: // join.HybridHash, by withDefaults
-		return db.HybridHash(req.TmpDir, req.K, req.ResidentFrac)
+		return db.hybridHash(ctx, p, req.TmpDir, req.K, req.ResidentFrac)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mmjoin/internal/exec"
 	"mmjoin/internal/join"
 	"mmjoin/internal/machine"
 	"mmjoin/internal/metrics"
@@ -49,6 +50,12 @@ type Config struct {
 	// CalibrationOps is the analytical-model calibration effort at
 	// startup (default 800 measured I/Os per band size).
 	CalibrationOps int
+
+	// Workers sizes the work-stealing morsel pool shared by every
+	// in-flight join (default GOMAXPROCS). However many joins run
+	// concurrently, at most Workers goroutines execute join morsels at
+	// any instant — the pool, not the request count, bounds CPU fan-out.
+	Workers int
 }
 
 func (cfg *Config) withDefaults() error {
@@ -84,12 +91,13 @@ func (cfg *Config) withDefaults() error {
 // parallelism over the shared read-only base relations, with per-request
 // temporary directories.
 type Server struct {
-	cfg Config
-	db  *mstore.DB
-	w   *relation.Workload // the db's shape+references, for the planner
-	pl  *planner.Planner
-	sim machine.Config // simulated machine the planner costs against
-	adm *Admission
+	cfg  Config
+	db   *mstore.DB
+	w    *relation.Workload // the db's shape+references, for the planner
+	pl   *planner.Planner
+	sim  machine.Config // simulated machine the planner costs against
+	adm  *Admission
+	pool *exec.Pool // morsel pool shared by all in-flight joins
 
 	start time.Time
 	// drainMu orders inflight.Add against Drain's draining transition:
@@ -140,16 +148,29 @@ func New(cfg Config) (*Server, error) {
 		pl:       planner.New(calib, nil),
 		sim:      mcfg,
 		adm:      NewAdmission(cfg.MemBudget, cfg.MaxQueue),
+		pool:     exec.NewPool(cfg.Workers),
 		start:    time.Now(),
 		reg:      metrics.New(),
 		counters: make(map[string]*metrics.Counter),
 		hists:    make(map[string]*metrics.Histogram),
 	}
+	// Pool health as callback gauges: occupancy, queue depth, and steal
+	// count read live at every /stats snapshot.
+	s.reg.Gauge("pool_workers", func() float64 { return float64(s.pool.Stats().Workers) })
+	s.reg.Gauge("pool_busy", func() float64 { return float64(s.pool.Stats().Busy) })
+	s.reg.Gauge("pool_peak_busy", func() float64 { return float64(s.pool.Stats().PeakBusy) })
+	s.reg.Gauge("pool_queued_morsels", func() float64 { return float64(s.pool.Stats().Queued) })
+	s.reg.Gauge("pool_steals", func() float64 { return float64(s.pool.Stats().Steals) })
+	s.reg.Gauge("pool_executed_morsels", func() float64 { return float64(s.pool.Stats().Executed) })
 	return s, nil
 }
 
-// Close unmaps the database. Callers should Drain first.
-func (s *Server) Close() error { return s.db.Close() }
+// Close releases the worker pool and unmaps the database. Callers
+// should Drain first.
+func (s *Server) Close() error {
+	s.pool.Close()
+	return s.db.Close()
+}
 
 // Drain stops admitting new requests (joins answer 503, healthz reports
 // draining) and waits until every accepted request — including queued
@@ -414,8 +435,13 @@ func (s *Server) handleJoin(rw http.ResponseWriter, r *http.Request) {
 		if s.preJoin != nil {
 			s.preJoin()
 		}
+		// The join's morsels run on the server's shared pool: however
+		// many joins are in flight, at most cfg.Workers goroutines
+		// execute morsels. Passing ctx aborts the join between morsels
+		// when the client abandons it, releasing the grant early.
 		st, err := s.db.Run(mstore.JoinRequest{
 			Algorithm: alg, MRproc: mrproc, K: req.K, TmpDir: tmp,
+			Pool: s.pool, Ctx: ctx,
 		})
 		done <- outcome{st: st, err: err}
 	}()
@@ -522,10 +548,16 @@ type HistogramStats struct {
 
 // Stats is the /stats document.
 type Stats struct {
-	UptimeSec  float64                   `json:"uptimeSec"`
-	Draining   bool                      `json:"draining"`
-	DB         DBStats                   `json:"db"`
-	Admission  AdmissionStats            `json:"admission"`
+	UptimeSec float64        `json:"uptimeSec"`
+	Draining  bool           `json:"draining"`
+	DB        DBStats        `json:"db"`
+	Admission AdmissionStats `json:"admission"`
+	// Pool is the shared morsel pool: occupancy (Busy/PeakBusy vs
+	// Workers), morsel queue depth, and steal/executed counts.
+	Pool exec.Stats `json:"pool"`
+	// Gauges mirrors every gauge registered on the internal metrics
+	// registry (the pool gauges today), read live at snapshot time.
+	Gauges     map[string]float64        `json:"gauges"`
 	Counters   map[string]int64          `json:"counters"`
 	Histograms map[string]HistogramStats `json:"histograms"`
 }
@@ -550,6 +582,8 @@ func (s *Server) StatsSnapshot() Stats {
 			NR: s.db.CountR(), NS: s.db.CountS(),
 		},
 		Admission:  s.adm.Stats(),
+		Pool:       s.pool.Stats(),
+		Gauges:     s.reg.GaugeValues(),
 		Counters:   make(map[string]int64),
 		Histograms: make(map[string]HistogramStats),
 	}

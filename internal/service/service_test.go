@@ -429,7 +429,10 @@ func TestServeStats(t *testing.T) {
 // provably never exceeded.
 func TestServeConcurrentClientsRace(t *testing.T) {
 	const grant = 128 << 10
-	s := newTestServer(t, 1000, Config{MemBudget: 3 * grant, DefaultGrant: grant})
+	// Workers: 2 saturates the shared morsel pool: 16 clients push joins
+	// at a pool that executes at most 2 morsels at once, so the test
+	// exercises many jobs interleaving on the same workers.
+	s := newTestServer(t, 1000, Config{MemBudget: 3 * grant, DefaultGrant: grant, Workers: 2})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -477,5 +480,24 @@ func TestServeConcurrentClientsRace(t *testing.T) {
 	}
 	if st.Queued == 0 {
 		t.Log("note: no request ever queued (budget admits 3 concurrent joins)")
+	}
+	// However many joins were in flight, live join execution stayed
+	// bounded by the shared pool, not by the request count.
+	pool := s.pool.Stats()
+	if pool.Workers != 2 {
+		t.Fatalf("pool workers = %d, want 2", pool.Workers)
+	}
+	if pool.PeakBusy > pool.Workers {
+		t.Fatalf("peak pool occupancy %d exceeds pool size %d", pool.PeakBusy, pool.Workers)
+	}
+	if pool.Executed == 0 || pool.Jobs == 0 {
+		t.Fatalf("pool never used: %+v", pool)
+	}
+	snap := s.StatsSnapshot()
+	if snap.Pool.Workers != 2 {
+		t.Fatalf("/stats pool %+v", snap.Pool)
+	}
+	if _, ok := snap.Gauges["pool_busy"]; !ok {
+		t.Fatalf("/stats gauges missing pool_busy: %v", snap.Gauges)
 	}
 }
