@@ -50,6 +50,27 @@ type mstoreReport struct {
 	MRproc     int64        `json:"mrproc_bytes"`
 	Note       string       `json:"note"`
 	Algorithms []mstoreAlgo `json:"algorithms"`
+	// SkewPanel measures the grant-bounded probes under one hot key
+	// owning half of R: an undersized grant vs the unbounded baseline.
+	SkewPanel *skewPanel `json:"zipf_skew,omitempty"`
+}
+
+// skewRun is one skewed join under one memory regime.
+type skewRun struct {
+	Algorithm      string `json:"algorithm"`
+	GrantBytes     int64  `json:"grant_bytes"` // -1: unbounded
+	BestNs         int64  `json:"best_ns"`
+	Restages       int64  `json:"restages"`
+	RestagedRefs   int64  `json:"restaged_refs"`
+	StreamProbes   int64  `json:"stream_probes"`
+	PeakTableBytes int64  `json:"peak_table_bytes"`
+	SignatureMatch bool   `json:"signature_match"` // vs the unbounded baseline
+}
+
+type skewPanel struct {
+	HotFraction float64   `json:"hot_fraction"` // share of R on the one hot key
+	GrantBytes  int64     `json:"grant_bytes"`  // the undersized grant
+	Runs        []skewRun `json:"runs"`
 }
 
 // runMstorePanel creates a throwaway database and times NL/SM/Grace
@@ -117,6 +138,12 @@ func runMstorePanel(objects, d, runs int, out string) error {
 		fmt.Printf("speedup(GOMAXPROCS vs D) %.2fx\n", a.SpeedupMaxVsD)
 	}
 
+	sp, err := runSkewPanel(db, dir, runs)
+	if err != nil {
+		return err
+	}
+	r.SkewPanel = sp
+
 	f, err := os.Create(out)
 	if err != nil {
 		return err
@@ -132,4 +159,78 @@ func runMstorePanel(objects, d, runs int, out string) error {
 	}
 	fmt.Printf("mstore baseline written to %s\n", out)
 	return nil
+}
+
+// runSkewPanel rewrites the bench database into the hot-key worst case
+// (one S object at the end of partition 0 owns half of R, beyond any
+// hybrid resident prefix) and times Grace/hybrid-hash under a
+// deliberately undersized grant against the unbounded baseline. The
+// panel records the adaptation telemetry — restages, streamed probes,
+// and the measured peak of counted probe-table bytes, which must stay
+// within the grant.
+func runSkewPanel(db *mstore.DB, dir string, runs int) (*skewPanel, error) {
+	hotIdx := db.S[0].Count() - 1
+	hot := mstore.SPtr{Part: 0, Off: db.S[0].PtrAt(hotIdx)}
+	n, u := 0, 0
+	for _, ri := range db.R {
+		for x := 0; x < ri.Count(); x++ {
+			if n%2 == 0 {
+				mstore.EncodeSPtr(ri.Object(x), hot)
+			} else {
+				part := u % db.D
+				rel := db.S[part]
+				mstore.EncodeSPtr(ri.Object(x), mstore.SPtr{
+					Part: uint32(part), Off: rel.PtrAt(u % rel.Count()),
+				})
+				u++
+			}
+			n++
+		}
+	}
+	want := db.ExpectedStats()
+
+	const grant = 64 << 10
+	panel := &skewPanel{HotFraction: 0.5, GrantBytes: grant}
+	for _, alg := range []join.Algorithm{join.Grace, join.HybridHash} {
+		for _, g := range []int64{-1, grant} {
+			best := int64(1<<63 - 1)
+			var tel *mstore.JoinTelemetry
+			match := true
+			for run := 0; run < runs; run++ {
+				t := &mstore.JoinTelemetry{}
+				tmp := filepath.Join(dir, fmt.Sprintf("skew-%s-%d-%d", alg, g, run))
+				start := time.Now()
+				st, err := db.Run(mstore.JoinRequest{
+					Algorithm: alg, MRproc: 1 << 20, K: 8,
+					MemGrant: g, Telemetry: t, TmpDir: tmp,
+				})
+				el := time.Since(start).Nanoseconds()
+				if err != nil {
+					return nil, fmt.Errorf("skew %v grant=%d: %w", alg, g, err)
+				}
+				match = match && st == want
+				if el < best {
+					best, tel = el, t
+				}
+			}
+			run := skewRun{
+				Algorithm: alg.String(), GrantBytes: g, BestNs: best,
+				Restages:       tel.Restages.Load(),
+				RestagedRefs:   tel.RestagedRefs.Load(),
+				StreamProbes:   tel.StreamProbes.Load(),
+				PeakTableBytes: tel.PeakTableBytes.Load(),
+				SignatureMatch: match,
+			}
+			if !match {
+				return nil, fmt.Errorf("skew %v grant=%d: signature diverged from baseline", alg, g)
+			}
+			if g > 0 && run.PeakTableBytes > g {
+				return nil, fmt.Errorf("skew %v: peak table bytes %d exceed grant %d", alg, run.PeakTableBytes, g)
+			}
+			panel.Runs = append(panel.Runs, run)
+			fmt.Printf("mstore skew %-12s grant=%-8d: %.0fms restages=%d streams=%d peak=%dB\n",
+				alg, g, time.Duration(best).Seconds()*1000, run.Restages, run.StreamProbes, run.PeakTableBytes)
+		}
+	}
+	return panel, nil
 }

@@ -95,6 +95,9 @@ func PredictHybridHash(c Calibration, in Inputs) (*Prediction, error) {
 	if k > 0 {
 		bandProbe := math.Max(1, prsi/float64(k)/2)
 		p.add("probe io", sim.Time((prsi+over*q.psi)*c.DTTR.Eval(bandProbe)))
+		if t := restageIO(c, in, over*rsi, k, bandProbe); t > 0 {
+			p.add("restage io", t)
+		}
 	}
 
 	// CPU: every reference is mapped and hashed once; overflow objects

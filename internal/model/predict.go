@@ -386,6 +386,10 @@ func PredictGrace(c Calibration, in Inputs) (*Prediction, error) {
 	bandProbe := math.Max(1, prsi/float64(k)/2)
 	p.add("probe io", sim.Time((prsi+q.psi)*c.DTTR.Eval(bandProbe)))
 
+	if t := restageIO(c, in, rsi, k, bandProbe); t > 0 {
+		p.add("restage io", t)
+	}
+
 	// CPU.
 	p.add("map", sim.Time(q.ri)*c.Map)
 	p.add("hash pass0", sim.Time(rii)*c.Hash)
@@ -396,4 +400,25 @@ func PredictGrace(c Calibration, in Inputs) (*Prediction, error) {
 	p.add("probe transfer", sim.Time(rsi*float64(in.R+in.Ptr+in.S)*c.MTps))
 	p.add("context switches", gSwitch(c, q, rsi))
 	return p, nil
+}
+
+// restageIO costs the dynamic spill/restage passes the executor performs
+// when skew concentrates references into one bucket whose table
+// overflows the memory grant. The hottest bucket holds about
+// rsi/k·Skew references; when its bytes exceed MRproc, the executor
+// rewrites it to disk once per restage pass (read + write), and each
+// pass divides the bucket by up to the maximum fan-out (64). At
+// Skew≈1 with a grant-derived K the term is zero — the honest-planner
+// guarantee that uniform predictions are untouched.
+func restageIO(c Calibration, in Inputs, rsi float64, k int, band float64) sim.Time {
+	if k < 1 || in.MRproc <= 0 {
+		return 0
+	}
+	hotBytes := rsi / float64(k) * in.Skew * float64(in.R)
+	if hotBytes <= float64(in.MRproc) {
+		return 0
+	}
+	passes := math.Ceil(math.Log(hotBytes/float64(in.MRproc)) / math.Log(64))
+	passes = math.Max(passes, 1)
+	return sim.Time(passes * pages(hotBytes, c.B) * (c.DTTR.Eval(band) + c.DTTW.Eval(band)))
 }

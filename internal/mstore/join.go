@@ -118,6 +118,24 @@ func ephemeralPool(fn func(p *exec.Pool) (JoinStats, error)) (JoinStats, error) 
 	return fn(p)
 }
 
+// rankBucket maps the object of rank idx among n onto one of k
+// order-preserving buckets. The product idx·k overflows int on 32-bit
+// platforms at realistic sizes (a 10M-object partition times k=512
+// exceeds 2^31), so the math is done in int64.
+func rankBucket(idx, k, n int) int {
+	if n < 1 || k < 1 {
+		return 0
+	}
+	b := int(int64(idx) * int64(k) / int64(n))
+	if b < 0 {
+		b = 0
+	}
+	if b >= k {
+		b = k - 1
+	}
+	return b
+}
+
 // tmpRelation creates a throwaway relation file under dir. Capacity 0
 // (a measured-empty partition or bucket) still allocates one slot so the
 // relation is well-formed.
@@ -168,7 +186,7 @@ func (db *DB) nestedLoops(ctx context.Context, p *exec.Pool, tmpDir string) (Joi
 	for i := 0; i < d; i++ {
 		rp[i] = make([]*Appender, d)
 		for j := 0; j < d; j++ {
-			if j == i {
+			if j == i || counts[i][j] == 0 {
 				continue
 			}
 			rel, err := db.tmpRelation(tmpDir, fmt.Sprintf("RP%d_%d.seg", i, j), int(counts[i][j]))
@@ -213,7 +231,11 @@ func (db *DB) nestedLoops(ctx context.Context, p *exec.Pool, tmpDir string) (Joi
 	tasks = tasks[:0]
 	for t := 1; t < d; t++ {
 		for i := 0; i < d; i++ {
-			sub := rp[i][(i+t)%d].Relation()
+			ap := rp[i][(i+t)%d]
+			if ap == nil {
+				continue
+			}
+			sub := ap.Relation()
 			tasks = rangeTasks(tasks, sub.Count(), func(w, lo, hi int) error {
 				st := &stats[w].JoinStats
 				for x := lo; x < hi; x++ {
@@ -314,15 +336,11 @@ func (db *DB) sortMerge(ctx context.Context, p *exec.Pool, tmpDir string) (JoinS
 	// Partition-then-sort: split each RSj into contiguous S-address
 	// ranges so the splits sort and probe independently.
 	splits := make([]int, d)
-	starts := make([][]int64, d)   // split start offsets after prefix sums
+	starts := make([][]int64, d)         // split start offsets after prefix sums
 	cursors := make([][]atomic.Int64, d) // scatter cursors per split
 	splitOf := func(j int, off Ptr) int {
 		rel := db.S[j]
-		b := rel.IndexOf(off) * splits[j] / rel.Count()
-		if b >= splits[j] {
-			b = splits[j] - 1
-		}
-		return b
+		return rankBucket(rel.IndexOf(off), splits[j], rel.Count())
 	}
 	// Count split occupancy morsel-parallel.
 	splitCounts := make([][]int64, d)
@@ -446,10 +464,10 @@ func permuteRange(rel *Relation, lo int, handles []int32) {
 }
 
 // Grace runs the parallel pointer-based Grace join on an ephemeral
-// GOMAXPROCS-sized pool.
+// GOMAXPROCS-sized pool with no probe-memory bound.
 func (db *DB) Grace(tmpDir string, k int) (JoinStats, error) {
 	return ephemeralPool(func(p *exec.Pool) (JoinStats, error) {
-		return db.grace(context.Background(), p, tmpDir, k)
+		return db.grace(context.Background(), p, tmpDir, k, newMemLimiter(0, nil, nil))
 	})
 }
 
@@ -457,7 +475,9 @@ func (db *DB) Grace(tmpDir string, k int) (JoinStats, error) {
 // order-preserving buckets per S partition (concurrent atomic-claim
 // appends), then every (partition, bucket) pair probes independently —
 // an in-memory table per bucket, chains walked in ascending S address.
-func (db *DB) grace(ctx context.Context, p *exec.Pool, tmpDir string, k int) (JoinStats, error) {
+// Probe memory is metered by lim; oversized buckets restage or stream
+// (see probeEnv) instead of overshooting the grant.
+func (db *DB) grace(ctx context.Context, p *exec.Pool, tmpDir string, k int, lim *memLimiter) (JoinStats, error) {
 	if k < 1 {
 		return JoinStats{}, fmt.Errorf("mstore: Grace needs k >= 1, got %d", k)
 	}
@@ -469,11 +489,7 @@ func (db *DB) grace(ctx context.Context, p *exec.Pool, tmpDir string, k int) (Jo
 	// within the partition's data area.
 	bucketOf := func(ptr SPtr) int {
 		rel := db.S[ptr.Part]
-		b := rel.IndexOf(ptr.Off) * k / rel.Count()
-		if b >= k {
-			b = k - 1
-		}
-		return b
+		return rankBucket(rel.IndexOf(ptr.Off), k, rel.Count())
 	}
 
 	// Counting pass (morsel-parallel; it used to be a sequential scan of
@@ -506,13 +522,21 @@ func (db *DB) grace(ctx context.Context, p *exec.Pool, tmpDir string, k int) (Jo
 			}
 		}
 	}()
+	// Buckets materialize lazily: a measured-empty bucket gets no
+	// appender and no segment file at all. (The former eager D×K
+	// creation meant 32k mmap'd files per join at D=64, K=512 — fd and
+	// VMA exhaustion under serving load.)
 	for j := 0; j < d; j++ {
 		buckets[j] = make([]*Appender, k)
 		for b := 0; b < k; b++ {
+			if counts[j][b] == 0 {
+				continue
+			}
 			rel, err := db.tmpRelation(tmpDir, fmt.Sprintf("gr_%d_%d.seg", j, b), int(counts[j][b])+1)
 			if err != nil {
 				return JoinStats{}, err
 			}
+			lim.tel.TempFiles.Add(1)
 			buckets[j][b] = NewAppender(rel)
 		}
 	}
@@ -534,18 +558,22 @@ func (db *DB) grace(ctx context.Context, p *exec.Pool, tmpDir string, k int) (Jo
 		return JoinStats{}, err
 	}
 
+	env := &probeEnv{db: db, lim: lim, tmpDir: tmpDir}
 	stats := newPerWorker(p)
 	tasks = tasks[:0]
 	for j := 0; j < d; j++ {
 		for b := 0; b < k; b++ {
-			buckets[j][b].Seal()
-			rel := buckets[j][b].Relation()
+			ap := buckets[j][b]
+			if ap == nil {
+				continue
+			}
+			ap.Seal()
+			rel := ap.Relation()
 			if rel.Count() == 0 {
 				continue
 			}
 			tasks = append(tasks, func(w int) error {
-				db.probeBucket(rel, &stats[w].JoinStats)
-				return nil
+				return env.probe(rel, &stats[w].JoinStats, 0)
 			})
 		}
 	}
@@ -576,19 +604,168 @@ func (db *DB) probeBucket(rel *Relation, st *JoinStats) {
 	}
 }
 
+// tableBytesFor is the counted footprint of a bucket's probe table.
+func tableBytesFor(refs int) int64 { return int64(refs) * probeRefBytes }
+
+// probeEnv carries the grant machinery of one join's probe stage. Each
+// probe task reserves its table's counted bytes from the shared limiter
+// before building it, so the sum over concurrently built tables never
+// exceeds the grant — the invariant the skew tests assert.
+type probeEnv struct {
+	db     *DB
+	lim    *memLimiter
+	tmpDir string
+	seq    atomic.Int64 // unique names for restage temp relations
+}
+
+// probe joins one bucket within the grant. The fast path reserves the
+// table's bytes (waiting for concurrent probes when the grant is
+// temporarily occupied) and builds it as before. A bucket whose table
+// can never fit — renegotiation included — is restaged into sub-buckets
+// on disk until each fits, and a bucket whose references collapse onto
+// a single S object (one hot key) streams instead: restaging cannot
+// split it, but it also needs no table.
+func (e *probeEnv) probe(rel *Relation, st *JoinStats, depth int) error {
+	need := tableBytesFor(rel.Count())
+	if e.lim.reserve(need) {
+		defer e.lim.release(need)
+		e.db.probeBucket(rel, st)
+		return nil
+	}
+	lo, hi := e.indexSpan(rel)
+	if depth >= maxRestageDepth || lo >= hi {
+		return e.streamProbe(rel, st)
+	}
+	return e.restage(rel, st, lo, hi, depth)
+}
+
+// indexSpan scans a bucket and returns the minimum and maximum S index
+// its references name (every reference in a bucket points into one S
+// partition, so the indexes are comparable).
+func (e *probeEnv) indexSpan(rel *Relation) (lo, hi int) {
+	lo, hi = int(^uint(0)>>1), -1
+	for x := 0; x < rel.Count(); x++ {
+		ptr := DecodeSPtr(rel.Object(x))
+		idx := e.db.S[ptr.Part].IndexOf(ptr.Off)
+		lo, hi = min(lo, idx), max(hi, idx)
+	}
+	return lo, hi
+}
+
+// restage re-partitions one oversized bucket into sub-buckets on disk —
+// the spill path of the dynamic hybrid-hash design. The fan-out is just
+// large enough that an average sub-bucket's table fits the current
+// grant; skew that concentrates references recurses, narrowing the
+// S-index span every pass (min and max always separate), until each
+// sub-bucket either fits or has collapsed onto a single hot key.
+func (e *probeEnv) restage(rel *Relation, st *JoinStats, lo, hi, depth int) error {
+	span := hi - lo + 1
+	budget := max(e.lim.budgetNow(), 1)
+	sub := int((tableBytesFor(rel.Count()) + budget - 1) / budget)
+	sub = max(min(sub, maxRestageFanout, span), 2)
+
+	cnts := make([]int64, sub)
+	subIdx := func(ptr SPtr) int {
+		return rankBucket(e.db.S[ptr.Part].IndexOf(ptr.Off)-lo, sub, span)
+	}
+	for x := 0; x < rel.Count(); x++ {
+		cnts[subIdx(DecodeSPtr(rel.Object(x)))]++
+	}
+	aps := make([]*Appender, sub)
+	defer func() {
+		for _, ap := range aps {
+			if ap != nil {
+				ap.Relation().Segment().Delete()
+			}
+		}
+	}()
+	for b := 0; b < sub; b++ {
+		if cnts[b] == 0 {
+			continue
+		}
+		r, err := e.db.tmpRelation(e.tmpDir,
+			fmt.Sprintf("rs_%d_%d.seg", depth, e.seq.Add(1)), int(cnts[b])+1)
+		if err != nil {
+			return err
+		}
+		e.lim.tel.TempFiles.Add(1)
+		aps[b] = NewAppender(r)
+	}
+	for x := 0; x < rel.Count(); x++ {
+		obj := rel.Object(x)
+		if err := aps[subIdx(DecodeSPtr(obj))].Append(obj); err != nil {
+			return err
+		}
+	}
+	e.lim.tel.Restages.Add(1)
+	e.lim.tel.RestagedRefs.Add(int64(rel.Count()))
+	for b := 0; b < sub; b++ {
+		if aps[b] == nil {
+			continue
+		}
+		aps[b].Seal()
+		if err := e.probe(aps[b].Relation(), st, depth+1); err != nil {
+			return err
+		}
+		aps[b].Relation().Segment().Delete()
+		aps[b] = nil
+	}
+	return nil
+}
+
+// streamProbe joins one bucket without ever building its table: the
+// bucket is processed in grant-sized chunks whose handles are sorted by
+// S address, so memory is bounded by one chunk's handle array while the
+// probe still walks S in ascending order within each chunk. Correctness
+// does not depend on the order — Pairs and Signature fold as
+// commutative sums — so the result stays bit-identical.
+func (e *probeEnv) streamProbe(rel *Relation, st *JoinStats) error {
+	e.lim.tel.StreamProbes.Add(1)
+	n := rel.Count()
+	chunk := n
+	if e.lim.bounded() {
+		chunk = int(min(int64(n), max(e.lim.budgetNow()/streamHandleBytes, 1)))
+	}
+	bytes := int64(chunk) * streamHandleBytes
+	if !e.lim.reserve(bytes) {
+		// A grant below one handle: degenerate, but still bounded — scan
+		// in file order with no auxiliary memory at all.
+		for x := 0; x < n; x++ {
+			e.db.joinOne(rel.Object(x), st)
+		}
+		return nil
+	}
+	defer e.lim.release(bytes)
+	handles := make([]int32, chunk)
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		h := handles[:hi-lo]
+		for i := range h {
+			h[i] = int32(lo + i)
+		}
+		pheap.Sort(h, func(a, b int32) bool {
+			return DecodeSPtr(rel.Object(int(a))).Off < DecodeSPtr(rel.Object(int(b))).Off
+		})
+		for _, x := range h {
+			e.db.joinOne(rel.Object(int(x)), st)
+		}
+	}
+	return nil
+}
+
 // HybridHash runs the parallel pointer-based hybrid-hash join on an
-// ephemeral GOMAXPROCS-sized pool.
+// ephemeral GOMAXPROCS-sized pool with no probe-memory bound.
 func (db *DB) HybridHash(tmpDir string, k int, residentFrac float64) (JoinStats, error) {
 	return ephemeralPool(func(p *exec.Pool) (JoinStats, error) {
-		return db.hybridHash(context.Background(), p, tmpDir, k, residentFrac)
+		return db.hybridHash(context.Background(), p, tmpDir, k, residentFrac, newMemLimiter(0, nil, nil))
 	})
 }
 
 // hybridHash: references into a resident prefix of each S partition
 // (residentFrac of its objects) join immediately during the scan
 // morsels and never touch temporary storage; the remainder goes through
-// Grace-style ordered buckets.
-func (db *DB) hybridHash(ctx context.Context, p *exec.Pool, tmpDir string, k int, residentFrac float64) (JoinStats, error) {
+// Grace-style ordered buckets, probed under lim's memory grant.
+func (db *DB) hybridHash(ctx context.Context, p *exec.Pool, tmpDir string, k int, residentFrac float64, lim *memLimiter) (JoinStats, error) {
 	if k < 1 {
 		return JoinStats{}, fmt.Errorf("mstore: HybridHash needs k >= 1, got %d", k)
 	}
@@ -609,15 +786,7 @@ func (db *DB) hybridHash(ctx context.Context, p *exec.Pool, tmpDir string, k int
 	bucketOf := func(ptr SPtr) int {
 		rel := db.S[ptr.Part]
 		lo := residentUpTo[ptr.Part]
-		span := rel.Count() - lo
-		if span <= 0 {
-			return 0
-		}
-		b := (rel.IndexOf(ptr.Off) - lo) * k / span
-		if b >= k {
-			b = k - 1
-		}
-		return b
+		return rankBucket(rel.IndexOf(ptr.Off)-lo, k, rel.Count()-lo)
 	}
 
 	// Counting pass for exact bucket sizing (morsel-parallel).
@@ -650,13 +819,19 @@ func (db *DB) hybridHash(ctx context.Context, p *exec.Pool, tmpDir string, k int
 			}
 		}
 	}()
+	// Lazy bucket materialization, as in grace: measured-empty buckets
+	// get no appender and no segment file.
 	for j := 0; j < d; j++ {
 		buckets[j] = make([]*Appender, k)
 		for b := 0; b < k; b++ {
+			if counts[j][b] == 0 {
+				continue
+			}
 			rel, err := db.tmpRelation(tmpDir, fmt.Sprintf("hh_%d_%d.seg", j, b), int(counts[j][b])+1)
 			if err != nil {
 				return JoinStats{}, err
 			}
+			lim.tel.TempFiles.Add(1)
 			buckets[j][b] = NewAppender(rel)
 		}
 	}
@@ -685,18 +860,22 @@ func (db *DB) hybridHash(ctx context.Context, p *exec.Pool, tmpDir string, k int
 		return JoinStats{}, err
 	}
 
-	// Probe the overflow buckets as in Grace.
+	// Probe the overflow buckets as in Grace, under the same grant.
+	env := &probeEnv{db: db, lim: lim, tmpDir: tmpDir}
 	tasks = tasks[:0]
 	for j := 0; j < d; j++ {
 		for b := 0; b < k; b++ {
-			buckets[j][b].Seal()
-			rel := buckets[j][b].Relation()
+			ap := buckets[j][b]
+			if ap == nil {
+				continue
+			}
+			ap.Seal()
+			rel := ap.Relation()
 			if rel.Count() == 0 {
 				continue
 			}
 			tasks = append(tasks, func(w int) error {
-				db.probeBucket(rel, &stats[w].JoinStats)
-				return nil
+				return env.probe(rel, &stats[w].JoinStats, 0)
 			})
 		}
 	}

@@ -4,7 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"path/filepath"
+	"os"
 
 	"mmjoin/internal/exec"
 	"mmjoin/internal/join"
@@ -47,8 +47,31 @@ type JoinRequest struct {
 	// partition; 0 derives it from MRproc (negative forces 0).
 	ResidentFrac float64
 
-	// TmpDir holds the temporary partition/bucket relations; "" selects
-	// <db dir>/tmp.
+	// MemGrant is the join-wide probe-memory budget in bytes for
+	// Grace/hybrid-hash: the total counted size of concurrently built
+	// bucket tables (and stream-probe handle arrays) never exceeds it —
+	// oversized buckets restage into sub-buckets on disk or stream
+	// instead of overshooting. Zero derives D·MRproc (the sum of the
+	// per-partition grants; unbounded when MRproc is 0 too); negative
+	// disables the bound entirely.
+	MemGrant int64
+
+	// Telemetry, when non-nil, receives the join's memory-adaptation
+	// counters (temp files, restages, stream probes, renegotiations,
+	// peak table bytes). The struct must be zero-valued or the counts
+	// accumulate across joins, which is also a supported use.
+	Telemetry *JoinTelemetry
+
+	// Negotiator, when non-nil, lets a join that discovers it was
+	// under-granted ask for memory beyond MemGrant before it falls back
+	// to restaging; everything obtained is given back when Run returns.
+	Negotiator GrantNegotiator
+
+	// TmpDir holds the temporary partition/bucket relations; "" creates
+	// a fresh per-call directory under the db dir (removed on return).
+	// An explicit TmpDir must be unique per concurrent Run call: bucket
+	// file names are fixed, so two joins sharing a TmpDir corrupt each
+	// other's temporaries.
 	TmpDir string
 
 	// Workers is the CPU parallelism: the size of the work-stealing pool
@@ -86,9 +109,6 @@ func (req *JoinRequest) withDefaults(db *DB) error {
 	}
 	if req.Fuzz == 0 {
 		req.Fuzz = 1.2
-	}
-	if req.TmpDir == "" {
-		req.TmpDir = filepath.Join(db.Dir, "tmp")
 	}
 	if req.K <= 0 {
 		req.K = db.deriveK(req.MRproc, req.Fuzz)
@@ -172,17 +192,41 @@ func (db *DB) CountS() int {
 	return n
 }
 
+// grantBudget resolves the effective probe-memory budget: an explicit
+// MemGrant wins, zero derives D·MRproc (every partition goroutine's
+// grant, pooled), and a negative MemGrant — or no MRproc to derive
+// from — means unbounded (0).
+func (req *JoinRequest) grantBudget(db *DB) int64 {
+	switch {
+	case req.MemGrant > 0:
+		return req.MemGrant
+	case req.MemGrant < 0:
+		return 0
+	case req.MRproc > 0:
+		return req.MRproc * int64(db.D)
+	}
+	return 0
+}
+
 // Run validates the request, folds in derived defaults, and executes the
 // selected algorithm over the mapped store. It is safe for concurrent
-// use by multiple goroutines as long as each call gets its own TmpDir
-// (the base relations are only read); concurrent calls sharing req.Pool
-// additionally share its CPU bound.
+// use by multiple goroutines with the default TmpDir (each call gets a
+// fresh temp directory; the base relations are only read); concurrent
+// calls sharing req.Pool additionally share its CPU bound.
 func (db *DB) Run(req JoinRequest) (JoinStats, error) {
 	if err := req.withDefaults(db); err != nil {
 		return JoinStats{}, err
 	}
 	if req.Workers < 0 {
 		return JoinStats{}, fmt.Errorf("mstore: negative worker count %d", req.Workers)
+	}
+	if req.TmpDir == "" {
+		dir, err := os.MkdirTemp(db.Dir, "tmp-")
+		if err != nil {
+			return JoinStats{}, err
+		}
+		defer os.RemoveAll(dir)
+		req.TmpDir = dir
 	}
 	ctx := req.Ctx
 	if ctx == nil {
@@ -199,9 +243,13 @@ func (db *DB) Run(req JoinRequest) (JoinStats, error) {
 	case join.SortMerge:
 		return db.sortMerge(ctx, p, req.TmpDir)
 	case join.Grace:
-		return db.grace(ctx, p, req.TmpDir, req.K)
+		lim := newMemLimiter(req.grantBudget(db), req.Negotiator, req.Telemetry)
+		defer lim.close()
+		return db.grace(ctx, p, req.TmpDir, req.K, lim)
 	default: // join.HybridHash, by withDefaults
-		return db.hybridHash(ctx, p, req.TmpDir, req.K, req.ResidentFrac)
+		lim := newMemLimiter(req.grantBudget(db), req.Negotiator, req.Telemetry)
+		defer lim.close()
+		return db.hybridHash(ctx, p, req.TmpDir, req.K, req.ResidentFrac, lim)
 	}
 }
 

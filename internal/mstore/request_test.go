@@ -60,8 +60,11 @@ func TestRequestDerivesGraceParameters(t *testing.T) {
 	if req.Fuzz != 1.2 {
 		t.Errorf("Fuzz = %g", req.Fuzz)
 	}
-	if req.TmpDir != filepath.Join(db.Dir, "tmp") {
-		t.Errorf("TmpDir = %q", req.TmpDir)
+	// TmpDir stays empty after defaulting: Run creates (and removes) a
+	// per-call temp directory so concurrent default-TmpDir joins cannot
+	// collide on the fixed bucket file names.
+	if req.TmpDir != "" {
+		t.Errorf("TmpDir defaulted to %q, want per-call MkdirTemp in Run", req.TmpDir)
 	}
 	// An ample grant collapses to one bucket; an explicit K wins.
 	ample := JoinRequest{Algorithm: join.Grace, MRproc: 1 << 30}

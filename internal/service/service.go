@@ -110,6 +110,10 @@ type Server struct {
 	draining atomic.Bool
 	reqSeq   atomic.Int64
 
+	// peakTableBytes is the server-wide high-water mark of any single
+	// join's counted probe-table memory, exported as a gauge.
+	peakTableBytes atomic.Int64
+
 	// preJoin, when set by tests, runs inside the join goroutine after
 	// admission and before execution, making mid-join timing
 	// deterministic.
@@ -162,6 +166,16 @@ func New(cfg Config) (*Server, error) {
 	s.reg.Gauge("pool_queued_morsels", func() float64 { return float64(s.pool.Stats().Queued) })
 	s.reg.Gauge("pool_steals", func() float64 { return float64(s.pool.Stats().Steals) })
 	s.reg.Gauge("pool_executed_morsels", func() float64 { return float64(s.pool.Stats().Executed) })
+	s.reg.Gauge("probe_table_peak_bytes", func() float64 { return float64(s.peakTableBytes.Load()) })
+	// Spill/restage counters registered eagerly so /stats shows them at
+	// zero before the first skewed join arrives.
+	for _, name := range []string{
+		"spill_restages_total", "spill_restaged_refs_total", "stream_probes_total",
+		"grant_renegotiations_total", "grant_renegotiations_denied_total",
+		"temp_relations_total",
+	} {
+		s.counter(name)
+	}
 	return s, nil
 }
 
@@ -236,10 +250,13 @@ func (s *Server) observe(name string, d time.Duration) {
 }
 
 // inc bumps a named counter (thread-safe).
-func (s *Server) inc(name string) {
+func (s *Server) inc(name string) { s.add(name, 1) }
+
+// add increases a named counter by d (thread-safe).
+func (s *Server) add(name string, d int64) {
 	c := s.counter(name)
 	s.mu.Lock()
-	c.Inc()
+	c.Add(d)
 	s.mu.Unlock()
 }
 
@@ -301,7 +318,23 @@ type JoinResponse struct {
 	ElapsedNs   int64       `json:"elapsedNs"` // execution, excluding queue
 	Plan        []PlanEntry `json:"plan,omitempty"`
 	PredictedNs int64       `json:"predictedNs,omitempty"` // model's per-join virtual-time estimate
+
+	// Memory-adaptation telemetry (Grace/hybrid-hash): how the join
+	// behaved when its grant was tight. Zero values are omitted.
+	Restages       int64 `json:"restages,omitempty"`       // oversized buckets respilled to disk
+	StreamProbes   int64 `json:"streamProbes,omitempty"`   // hot-key buckets joined by streaming
+	Renegotiations int64 `json:"renegotiations,omitempty"` // mid-join grant growths obtained
+	PeakTableBytes int64 `json:"peakTableBytes,omitempty"` // high-water counted probe memory
 }
+
+// grantGrower adapts the admission controller to the store's mid-join
+// renegotiation interface: growth requests charge the shared budget
+// without waiting (and without jumping queued joins), give-backs release
+// into it.
+type grantGrower struct{ adm *Admission }
+
+func (g grantGrower) TryGrow(bytes int64) bool { return g.adm.TryAcquire(bytes) }
+func (g grantGrower) GiveBack(bytes int64)     { g.adm.Release(bytes) }
 
 // executable maps wire names onto the store's runnable algorithms.
 func parseAlgorithm(name string) (join.Algorithm, bool) {
@@ -420,6 +453,7 @@ func (s *Server) handleJoin(rw http.ResponseWriter, r *http.Request) {
 	tmp := filepath.Join(s.cfg.Dir, "tmp", fmt.Sprintf("req%d", s.reqSeq.Add(1)))
 	execStart := time.Now()
 	done := make(chan outcome, 1)
+	tel := &mstore.JoinTelemetry{}
 	// The handler's own registration is still held here, so this Add
 	// runs on a non-zero counter and needs no drainMu.
 	s.inflight.Add(1)
@@ -438,11 +472,16 @@ func (s *Server) handleJoin(rw http.ResponseWriter, r *http.Request) {
 		// The join's morsels run on the server's shared pool: however
 		// many joins are in flight, at most cfg.Workers goroutines
 		// execute morsels. Passing ctx aborts the join between morsels
-		// when the client abandons it, releasing the grant early.
+		// when the client abandons it, releasing the grant early. The
+		// grant charged at admission is the join's probe-memory bound
+		// (MemGrant), and a join that outgrows it renegotiates against
+		// the same shared budget through the controller.
 		st, err := s.db.Run(mstore.JoinRequest{
 			Algorithm: alg, MRproc: mrproc, K: req.K, TmpDir: tmp,
+			MemGrant: grant, Telemetry: tel, Negotiator: grantGrower{s.adm},
 			Pool: s.pool, Ctx: ctx,
 		})
+		s.foldTelemetry(tel)
 		done <- outcome{st: st, err: err}
 	}()
 
@@ -459,11 +498,33 @@ func (s *Server) handleJoin(rw http.ResponseWriter, r *http.Request) {
 		resp.Pairs = out.st.Pairs
 		resp.Signature = fmt.Sprintf("%016x", out.st.Signature)
 		resp.ElapsedNs = elapsed.Nanoseconds()
+		resp.Restages = tel.Restages.Load()
+		resp.StreamProbes = tel.StreamProbes.Load()
+		resp.Renegotiations = tel.Renegotiations.Load()
+		resp.PeakTableBytes = tel.PeakTableBytes.Load()
 		writeJSON(rw, http.StatusOK, resp)
 	case <-ctx.Done():
 		s.inc("join_abandoned")
 		writeJSON(rw, http.StatusServiceUnavailable,
 			map[string]string{"error": "request abandoned mid-join: " + ctx.Err().Error()})
+	}
+}
+
+// foldTelemetry rolls one finished join's memory-adaptation counters
+// into the server's /stats counters and peak gauge.
+func (s *Server) foldTelemetry(tel *mstore.JoinTelemetry) {
+	s.add("spill_restages_total", tel.Restages.Load())
+	s.add("spill_restaged_refs_total", tel.RestagedRefs.Load())
+	s.add("stream_probes_total", tel.StreamProbes.Load())
+	s.add("grant_renegotiations_total", tel.Renegotiations.Load())
+	s.add("grant_renegotiations_denied_total", tel.RenegotiationsDenied.Load())
+	s.add("temp_relations_total", tel.TempFiles.Load())
+	for {
+		peak := tel.PeakTableBytes.Load()
+		cur := s.peakTableBytes.Load()
+		if peak <= cur || s.peakTableBytes.CompareAndSwap(cur, peak) {
+			return
+		}
 	}
 }
 

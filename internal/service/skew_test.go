@@ -1,0 +1,208 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"mmjoin/internal/mstore"
+)
+
+// newSkewServer builds a server over a database whose R pointers follow
+// the hot-key worst case: one S object (partition 0, index 0) owns half
+// of all references, the rest spread uniformly.
+func newSkewServer(t *testing.T, objects int, cfg Config) *Server {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "db")
+	db, err := mstore.CreateDB(dir, 3, objects, objects, 32, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hot key sits at the END of its partition so hybrid-hash's
+	// resident prefix cannot absorb it — it must flow through the
+	// overflow buckets like any other skewed reference.
+	hot := mstore.SPtr{Part: 0, Off: db.S[0].PtrAt(db.S[0].Count() - 1)}
+	n, u := 0, 0
+	for _, ri := range db.R {
+		for x := 0; x < ri.Count(); x++ {
+			if n%2 == 0 {
+				mstore.EncodeSPtr(ri.Object(x), hot)
+			} else {
+				part := u % db.D
+				rel := db.S[part]
+				mstore.EncodeSPtr(ri.Object(x), mstore.SPtr{
+					Part: uint32(part), Off: rel.PtrAt(u % rel.Count()),
+				})
+				u++
+			}
+			n++
+		}
+	}
+	db.Close()
+	cfg.Dir = dir
+	cfg.D = 3
+	if cfg.CalibrationOps == 0 {
+		cfg.CalibrationOps = 60
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestSkewServeGrantBoundedJoin: a skewed join with an undersized grant
+// and no renegotiation headroom (the budget barely exceeds the grant)
+// must restage/stream to an exact result, report the adaptation in the
+// response, and surface the counters in /stats.
+func TestSkewServeGrantBoundedJoin(t *testing.T) {
+	const grant = 32 << 10
+	s := newSkewServer(t, 6000, Config{MemBudget: grant + 4096, DefaultGrant: grant})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	want := s.db.ExpectedStats()
+	for _, alg := range []string{"grace", "hybrid-hash"} {
+		resp, jr := postJoin(t, ts, JoinRequest{Algorithm: alg, MemBytes: grant, K: 4})
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d", alg, resp.StatusCode)
+		}
+		if jr.Pairs != want.Pairs || jr.Signature != fmt.Sprintf("%016x", want.Signature) {
+			t.Fatalf("%s: result %+v, want %+v", alg, jr, want)
+		}
+		if jr.Restages < 1 {
+			t.Errorf("%s: oversized bucket never restaged: %+v", alg, jr)
+		}
+		if jr.StreamProbes < 1 {
+			t.Errorf("%s: hot key never streamed: %+v", alg, jr)
+		}
+		if jr.PeakTableBytes > grant {
+			t.Errorf("%s: peak table bytes %d exceed grant %d", alg, jr.PeakTableBytes, grant)
+		}
+	}
+
+	st := s.StatsSnapshot()
+	for _, name := range []string{
+		"spill_restages_total", "spill_restaged_refs_total", "stream_probes_total",
+	} {
+		if st.Counters[name] < 1 {
+			t.Errorf("counter %s = %d, want >= 1", name, st.Counters[name])
+		}
+	}
+	if st.Counters["grant_renegotiations_denied_total"] < 1 {
+		t.Errorf("no denied renegotiations despite exhausted budget: %+v", st.Counters)
+	}
+	if peak := st.Gauges["probe_table_peak_bytes"]; peak <= 0 || peak > grant {
+		t.Errorf("probe_table_peak_bytes gauge = %v, want in (0, %d]", peak, grant)
+	}
+	if st.Admission.RenegotiationsDenied < 1 {
+		t.Errorf("admission stats missing denied renegotiations: %+v", st.Admission)
+	}
+}
+
+// TestSkewServeRenegotiationSucceeds: with budget headroom the
+// under-granted join grows its grant mid-flight instead of restaging,
+// and the admission accounting balances afterwards.
+func TestSkewServeRenegotiationSucceeds(t *testing.T) {
+	const grant = 16 << 10
+	s := newSkewServer(t, 4000, Config{MemBudget: 8 << 20, DefaultGrant: grant})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	want := s.db.ExpectedStats()
+	resp, jr := postJoin(t, ts, JoinRequest{Algorithm: "grace", MemBytes: grant, K: 4})
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if jr.Pairs != want.Pairs || jr.Signature != fmt.Sprintf("%016x", want.Signature) {
+		t.Fatalf("result %+v, want %+v", jr, want)
+	}
+	if jr.Renegotiations < 1 {
+		t.Fatalf("join never renegotiated despite headroom: %+v", jr)
+	}
+	st := s.StatsSnapshot()
+	if st.Admission.Renegotiated < 1 {
+		t.Errorf("admission stats missing renegotiations: %+v", st.Admission)
+	}
+	if st.Admission.UsedBytes != 0 {
+		t.Errorf("renegotiated bytes leaked: used=%d after completion", st.Admission.UsedBytes)
+	}
+	if st.Counters["grant_renegotiations_total"] < 1 {
+		t.Errorf("grant_renegotiations_total = %d", st.Counters["grant_renegotiations_total"])
+	}
+}
+
+// TestSkewStatsExposeCountersAtZero: the spill/restage counters are
+// registered at startup so operators see them (at zero) before the
+// first skewed join.
+func TestSkewStatsExposeCountersAtZero(t *testing.T) {
+	s := newTestServer(t, 300, Config{})
+	st := s.StatsSnapshot()
+	for _, name := range []string{
+		"spill_restages_total", "spill_restaged_refs_total", "stream_probes_total",
+		"grant_renegotiations_total", "grant_renegotiations_denied_total",
+		"temp_relations_total",
+	} {
+		if v, ok := st.Counters[name]; !ok || v != 0 {
+			t.Errorf("counter %s = %d (present=%v), want 0 at startup", name, v, ok)
+		}
+	}
+	if _, ok := st.Gauges["probe_table_peak_bytes"]; !ok {
+		t.Error("probe_table_peak_bytes gauge missing")
+	}
+}
+
+// TestAdmissionTryAcquire covers the non-blocking renegotiation path:
+// immediate success within budget, refusal beyond it, and strict-FIFO
+// refusal while anyone is queued (growth must not jump the queue).
+func TestAdmissionTryAcquire(t *testing.T) {
+	a := NewAdmission(1000, 4)
+	if !a.TryAcquire(600) {
+		t.Fatal("fitting TryAcquire denied")
+	}
+	if a.TryAcquire(500) {
+		t.Fatal("over-budget TryAcquire granted")
+	}
+	if !a.TryAcquire(400) {
+		t.Fatal("exact-fit TryAcquire denied")
+	}
+	if a.TryAcquire(1) {
+		t.Fatal("TryAcquire granted on a full budget")
+	}
+	a.Release(400)
+
+	// Queue a waiter that cannot fit; TryAcquire for bytes that would
+	// fit must still fail while the waiter is ahead.
+	ctx, cancel := context.WithCancel(context.Background())
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- a.Acquire(ctx, 900) }()
+	for a.Stats().QueueDepth == 0 {
+		runtime.Gosched()
+	}
+	if a.TryAcquire(100) {
+		t.Fatal("TryAcquire jumped the admission queue")
+	}
+	cancel()
+	if err := <-waitErr; err == nil {
+		t.Fatal("queued waiter not canceled")
+	}
+	a.Release(600)
+
+	st := a.Stats()
+	if st.Renegotiated != 2 {
+		t.Errorf("renegotiated = %d, want 2", st.Renegotiated)
+	}
+	if st.RenegotiationsDenied != 3 {
+		t.Errorf("renegotiationsDenied = %d, want 3", st.RenegotiationsDenied)
+	}
+	if st.UsedBytes != 0 {
+		t.Errorf("used = %d after releases", st.UsedBytes)
+	}
+	if a.TryAcquire(0) {
+		t.Error("non-positive TryAcquire granted")
+	}
+}
