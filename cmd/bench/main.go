@@ -88,7 +88,7 @@ func currentHost() hostInfo {
 type report struct {
 	Schema string   `json:"schema"`
 	Host   hostInfo `json:"host"`
-	Sweep struct {
+	Sweep  struct {
 		Panel           string    `json:"panel"`
 		Objects         int       `json:"objects"`
 		Fractions       []float64 `json:"fractions"`
@@ -130,6 +130,12 @@ func main() {
 	msRuns := flag.Int("mstore-runs", 3, "repetitions per mstore panel point (best is kept)")
 	msOut := flag.String("mstore-out", "BENCH_mstore.json", "output path for the mstore panel baseline")
 	msOnly := flag.Bool("mstore-only", false, "run only the mstore join panel (CI smoke)")
+	svcObjects := flag.Int("service-objects", 12000, "objects per relation for the service SLO panel")
+	svcD := flag.Int("service-d", 4, "partitions for the service SLO panel")
+	svcDur := flag.Duration("service-duration", 2*time.Second, "load duration per service sweep point")
+	svcSeed := flag.Int64("service-seed", 42, "loadgen seed for the service SLO panel")
+	svcOut := flag.String("service-out", "BENCH_service.json", "output path for the service SLO baseline")
+	svcOnly := flag.Bool("service-only", false, "run only the service SLO panel")
 	flag.Parse()
 	if *parallel < 1 {
 		fmt.Fprintf(os.Stderr, "bench: -parallel must be >= 1, got %d\n", *parallel)
@@ -138,6 +144,13 @@ func main() {
 
 	if *msOnly {
 		if err := runMstorePanel(*msObjects, *msD, *msRuns, *msOut); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *svcOnly {
+		if err := runServicePanel(*svcObjects, *svcD, *svcDur, *svcSeed, *svcOut); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,113 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Kind distinguishes the two request endpoints.
+type Kind uint8
+
+const (
+	KindLookup Kind = iota
+	KindJoin
+)
+
+func (k Kind) String() string {
+	if k == KindLookup {
+		return "lookup"
+	}
+	return "join"
+}
+
+// Op is one scheduled request: what to send and — in open-loop mode —
+// when it is intended to leave. Latency is always measured from the
+// intended time, so a generator that falls behind (or a server that
+// stalls the dispatcher) shows up as latency instead of being silently
+// dropped from the distribution (coordinated omission).
+type Op struct {
+	At   time.Duration // intended send offset from the run start
+	Kind Kind
+	Key  int    // lookup: Zipf-ranked global R index in [0, NR)
+	Alg  string // join: wire algorithm name, "auto" included
+}
+
+// drawOp picks one request from the mix. The rng drives every choice, so
+// the sequence of ops is a pure function of the seed.
+func drawOp(rng *rand.Rand, zipf *rand.Zipf, mix Mix, at time.Duration) Op {
+	if rng.Float64() < mix.LookupFraction {
+		return Op{At: at, Kind: KindLookup, Key: int(zipf.Uint64())}
+	}
+	return Op{At: at, Kind: KindJoin, Alg: mix.JoinAlgs[rng.Intn(len(mix.JoinAlgs))]}
+}
+
+// BuildSchedule materializes the full open-loop request schedule for a
+// database of nr R objects: Poisson arrivals draw exponential
+// inter-arrival gaps at the offered rate; burst arrivals emit
+// BurstSize back-to-back requests (identical intended time) every
+// BurstSize/Rate seconds, the same offered rate delivered in spikes.
+// The schedule is deterministic: the same (Config, nr) yields the same
+// ops in the same order.
+func BuildSchedule(cfg Config, nr int) ([]Op, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	if cfg.Mode == Closed {
+		return nil, fmt.Errorf("loadgen: closed-loop mode has no precomputed schedule")
+	}
+	if nr < 1 {
+		return nil, fmt.Errorf("loadgen: need nr >= 1, got %d", nr)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := newZipf(rng, cfg.Mix.ZipfS, nr)
+	var ops []Op
+	switch cfg.Mode {
+	case OpenPoisson:
+		var t time.Duration
+		for {
+			t += time.Duration(rng.ExpFloat64() / cfg.Rate * float64(time.Second))
+			if t >= cfg.Duration {
+				break
+			}
+			ops = append(ops, drawOp(rng, zipf, cfg.Mix, t))
+		}
+	case OpenBurst:
+		every := time.Duration(float64(cfg.BurstSize) / cfg.Rate * float64(time.Second))
+		if every <= 0 {
+			every = time.Millisecond
+		}
+		for t := time.Duration(0); t < cfg.Duration; t += every {
+			for i := 0; i < cfg.BurstSize; i++ {
+				ops = append(ops, drawOp(rng, zipf, cfg.Mix, t))
+			}
+		}
+	default:
+		return nil, fmt.Errorf("loadgen: unknown mode %d", cfg.Mode)
+	}
+	return ops, nil
+}
+
+// clientStream returns the deterministic op/think source for one
+// closed-loop client. Clients are seeded independently of each other so
+// the per-client request and key sequences do not change when the client
+// count does.
+func clientStream(cfg Config, nr, client int) func() (Op, time.Duration) {
+	rng := rand.New(rand.NewSource(cfg.Seed*1000003 + int64(client)*7919))
+	zipf := newZipf(rng, cfg.Mix.ZipfS, nr)
+	return func() (Op, time.Duration) {
+		op := drawOp(rng, zipf, cfg.Mix, 0)
+		think := time.Duration(rng.ExpFloat64() * float64(cfg.ThinkMean))
+		return op, think
+	}
+}
+
+// newZipf builds the lookup key sampler: rank 0 is the hottest key.
+// rand.Zipf needs s > 1 and imax >= 1; nr == 1 degenerates to key 0.
+func newZipf(rng *rand.Rand, s float64, nr int) *rand.Zipf {
+	imax := uint64(nr - 1)
+	if imax < 1 {
+		imax = 1
+	}
+	return rand.NewZipf(rng, s, 1, imax)
+}

@@ -109,6 +109,28 @@ func (h *Histogram) Mean() sim.Time {
 	return h.sum / sim.Time(h.count)
 }
 
+// Merge folds other's observations into h bucket-by-bucket, so
+// quantiles of the union can be asked of h afterwards. Client-side load
+// tooling uses this to aggregate per-outcome histograms into one
+// distribution. A nil receiver ignores the call; a nil or empty other is
+// a no-op.
+func (h *Histogram) Merge(other *Histogram) {
+	if h == nil || other == nil || other.count == 0 {
+		return
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+	for b := range h.buckets {
+		h.buckets[b] += other.buckets[b]
+	}
+}
+
 // Quantile returns an estimate of the q-quantile (q in [0,1]) by linear
 // interpolation within the containing bucket, clamped to [Min, Max].
 func (h *Histogram) Quantile(q float64) sim.Time {

@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"mmjoin/internal/sim"
+)
+
+func TestHistogramEmptyQuantiles(t *testing.T) {
+	h := New().Histogram("empty")
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if h.Mean() != 0 || h.Count() != 0 {
+		t.Errorf("empty histogram mean=%v count=%d, want 0/0", h.Mean(), h.Count())
+	}
+}
+
+func TestHistogramAllEqualQuantiles(t *testing.T) {
+	h := New().Histogram("flat")
+	const v = sim.Time(123456)
+	for i := 0; i < 1000; i++ {
+		h.Observe(v)
+	}
+	// Every quantile of a constant distribution is that constant: the
+	// in-bucket interpolation must be clamped by min==max.
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if got := h.Quantile(q); got != v {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, v)
+		}
+	}
+	if h.Mean() != v {
+		t.Errorf("mean %v, want %v", h.Mean(), v)
+	}
+}
+
+func TestHistogramQuantileMonotoneUnderRandomFills(t *testing.T) {
+	quantiles := []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1}
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := New().Histogram("rand")
+		n := 1 + rng.Intn(5000)
+		for i := 0; i < n; i++ {
+			// Mix magnitudes so fills cross many geometric buckets.
+			h.Observe(sim.Time(rng.Int63n(1 << uint(1+rng.Intn(40)))))
+		}
+		prev := sim.Time(-1)
+		for _, q := range quantiles {
+			v := h.Quantile(q)
+			if v < prev {
+				t.Fatalf("seed %d: Quantile(%v) = %v < previous %v", seed, q, v, prev)
+			}
+			prev = v
+			if v < h.Min() || v > h.Max() {
+				t.Fatalf("seed %d: Quantile(%v) = %v outside [min %v, max %v]",
+					seed, q, v, h.Min(), h.Max())
+			}
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := New().Histogram("a")
+	b := New().Histogram("b")
+	for i := 1; i <= 100; i++ {
+		a.Observe(sim.Time(i) * 1000)
+	}
+	for i := 101; i <= 200; i++ {
+		b.Observe(sim.Time(i) * 1000)
+	}
+	want := New().Histogram("want")
+	for i := 1; i <= 200; i++ {
+		want.Observe(sim.Time(i) * 1000)
+	}
+
+	a.Merge(b)
+	if a.Count() != want.Count() || a.Sum() != want.Sum() {
+		t.Fatalf("merged count/sum = %d/%v, want %d/%v", a.Count(), a.Sum(), want.Count(), want.Sum())
+	}
+	if a.Min() != want.Min() || a.Max() != want.Max() {
+		t.Fatalf("merged min/max = %v/%v, want %v/%v", a.Min(), a.Max(), want.Min(), want.Max())
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if got := a.Quantile(q); got != want.Quantile(q) {
+			t.Errorf("merged Quantile(%v) = %v, want %v (direct fill)", q, got, want.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramMergeEdgeCases(t *testing.T) {
+	// Nil receiver and nil/empty operands must all be no-ops.
+	var nilH *Histogram
+	nilH.Merge(New().Histogram("x")) // must not panic
+
+	h := New().Histogram("h")
+	h.Observe(500)
+	h.Merge(nil)
+	h.Merge(New().Histogram("empty"))
+	if h.Count() != 1 || h.Min() != 500 || h.Max() != 500 {
+		t.Fatalf("no-op merges changed state: count=%d min=%v max=%v", h.Count(), h.Min(), h.Max())
+	}
+
+	// Merging into an empty histogram must adopt the other's min even
+	// though the receiver's zero-valued min is numerically smaller.
+	empty := New().Histogram("fresh")
+	empty.Merge(h)
+	if empty.Min() != 500 || empty.Max() != 500 || empty.Count() != 1 {
+		t.Fatalf("merge into empty: count=%d min=%v max=%v, want 1/500/500",
+			empty.Count(), empty.Min(), empty.Max())
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"mmjoin/internal/machine"
 	"mmjoin/internal/model"
 	"mmjoin/internal/relation"
+	"mmjoin/internal/sim"
 )
 
 func testCalib(t *testing.T) model.Calibration {
@@ -160,5 +161,119 @@ func TestChooseForDerivesInputsFromRequest(t *testing.T) {
 	// A request without a workload cannot be costed.
 	if _, err := pl.ChooseFor(join.Request{Config: machine.DefaultConfig()}); err == nil {
 		t.Error("workload-less request accepted")
+	}
+}
+
+// regimeReq builds a real generated-workload request at the given
+// per-process memory, the same shape the query service hands ChooseFor.
+func regimeReq(t *testing.T, mrproc int64) join.Request {
+	t.Helper()
+	spec := relation.DefaultSpec()
+	spec.NR, spec.NS = 8000, 8000
+	w := relation.MustGenerate(spec)
+	return join.Request{
+		Config: machine.DefaultConfig(),
+		Params: join.Params{Workload: w, MRproc: mrproc},
+	}
+}
+
+// TestChooseForRegimes pins the planner's decision regions on a real
+// workload: per-process memory is the axis the paper's Fig. 5 sweeps,
+// and the winning plan must move from external partitioned algorithms
+// at scarce memory to immediate-join plans when the relation fits.
+func TestChooseForRegimes(t *testing.T) {
+	pl := New(testCalib(t), nil)
+	relBytes := int64(8000 * relation.DefaultSpec().RSize)
+	cases := []struct {
+		name   string
+		mrproc int64
+		want   map[join.Algorithm]bool // acceptable best plans
+		worst  join.Algorithm          // required most-expensive plan, if any
+	}{
+		{
+			// A few percent of |R|: only external plans are viable and
+			// the planner must not pick nested loops, whose working set
+			// cannot fit.
+			name:   "tiny memory picks an external plan",
+			mrproc: relBytes / 50,
+			want:   map[join.Algorithm]bool{join.Grace: true, join.HybridHash: true, join.SortMerge: true},
+			worst:  join.NestedLoops,
+		},
+		{
+			// Around 10% of |R| the hash-partitioned plans take over
+			// (grace, or hybrid once part of the table is resident).
+			name:   "moderate memory picks a hash-partitioned plan",
+			mrproc: relBytes / 10,
+			want:   map[join.Algorithm]bool{join.Grace: true, join.HybridHash: true},
+		},
+		{
+			// Memory beyond |R|: an immediate-join plan wins (nested
+			// loops, or hybrid with everything resident) and no external
+			// sort can be cheapest.
+			name:   "abundant memory picks an immediate plan",
+			mrproc: 4 * relBytes,
+			want:   map[join.Algorithm]bool{join.NestedLoops: true, join.HybridHash: true},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			choice, err := pl.ChooseFor(regimeReq(t, tc.mrproc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !tc.want[choice.Best.Algorithm] {
+				t.Errorf("mrproc=%d: best = %v, want one of %v",
+					tc.mrproc, choice.Best.Algorithm, tc.want)
+			}
+			if tc.worst != 0 {
+				got := choice.Candidates[len(choice.Candidates)-1].Algorithm
+				if got != tc.worst {
+					t.Errorf("mrproc=%d: most expensive = %v, want %v", tc.mrproc, got, tc.worst)
+				}
+			}
+		})
+	}
+}
+
+// TestSortedInputsFavorSortMerge: telling the planner the relation is
+// already in long runs (IRun = NR, i.e. pass 0 produces one run and
+// merging disappears) must strictly cheapen sort-merge while leaving
+// the other plans untouched — and at scarce memory sort-merge must win
+// outright.
+func TestSortedInputsFavorSortMerge(t *testing.T) {
+	pl := New(testCalib(t), nil)
+	relBytes := int64(8000 * relation.DefaultSpec().RSize)
+	mrproc := relBytes / 50
+
+	unsorted, err := pl.ChooseFor(regimeReq(t, mrproc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := regimeReq(t, mrproc)
+	req.IRun = 8000 // presorted: the whole relation is one initial run
+	sorted, err := pl.ChooseFor(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cost := func(c *Choice, alg join.Algorithm) sim.Time {
+		for _, cd := range c.Candidates {
+			if cd.Algorithm == alg {
+				return cd.Predicted
+			}
+		}
+		t.Fatalf("%v not among candidates", alg)
+		return 0
+	}
+	if s, u := cost(sorted, join.SortMerge), cost(unsorted, join.SortMerge); s > u {
+		t.Errorf("sorted input made sort-merge dearer: %v > %v", s, u)
+	}
+	for _, alg := range []join.Algorithm{join.NestedLoops, join.Grace, join.HybridHash} {
+		if s, u := cost(sorted, alg), cost(unsorted, alg); s != u {
+			t.Errorf("IRun leaked into %v: %v != %v", alg, s, u)
+		}
+	}
+	if sorted.Best.Algorithm != join.SortMerge {
+		t.Errorf("scarce memory + presorted runs: best = %v, want sort-merge", sorted.Best.Algorithm)
 	}
 }

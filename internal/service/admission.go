@@ -182,6 +182,14 @@ func (a *Admission) grantWaiters() {
 	}
 }
 
+// QueueDepth reports how many requests are waiting for admission right
+// now — the load signal behind the dynamic Retry-After hint.
+func (a *Admission) QueueDepth() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.queue)
+}
+
 // Stats is a point-in-time snapshot of the controller.
 type AdmissionStats struct {
 	BudgetBytes   int64 `json:"budgetBytes"`

@@ -1,0 +1,50 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"mmjoin/internal/join"
+)
+
+// TestAutoAgreesWithPlanner: the service's "auto" algorithm selection
+// must be exactly the library planner's ChooseFor verdict on the same
+// workload and per-partition memory — the HTTP layer adds admission and
+// execution, never a different plan.
+func TestAutoAgreesWithPlanner(t *testing.T) {
+	s := newTestServer(t, 1500, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, grant := range []int64{64 << 10, 256 << 10, 4 << 20} {
+		resp, jr := postJoin(t, ts, JoinRequest{Algorithm: "auto", MemBytes: grant})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("grant %d: status %d", grant, resp.StatusCode)
+		}
+		choice, err := s.pl.ChooseFor(join.Request{
+			Config: s.sim,
+			Params: join.Params{Workload: s.w, MRproc: grant / int64(s.cfg.D)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jr.Algorithm != choice.Best.Algorithm.String() {
+			t.Errorf("grant %d: service auto picked %s, planner library picks %v",
+				grant, jr.Algorithm, choice.Best.Algorithm)
+		}
+		if jr.PredictedNs != int64(choice.Best.Predicted) {
+			t.Errorf("grant %d: predicted %d ns, planner says %d ns",
+				grant, jr.PredictedNs, int64(choice.Best.Predicted))
+		}
+		if len(jr.Plan) != len(choice.Candidates) {
+			t.Fatalf("grant %d: %d plan entries, planner costed %d candidates",
+				grant, len(jr.Plan), len(choice.Candidates))
+		}
+		for i, c := range choice.Candidates {
+			if jr.Plan[i].Algorithm != c.Algorithm.String() {
+				t.Errorf("grant %d: plan[%d] = %s, want %v", grant, i, jr.Plan[i].Algorithm, c.Algorithm)
+			}
+		}
+	}
+}

@@ -114,6 +114,11 @@ type Server struct {
 	// join's counted probe-table memory, exported as a gauge.
 	peakTableBytes atomic.Int64
 
+	// meanServiceNs is an EWMA of admitted-join execution time (the time
+	// a grant stays charged), the rate at which budget slots recycle. It
+	// feeds the dynamic Retry-After hint.
+	meanServiceNs atomic.Int64
+
 	// preJoin, when set by tests, runs inside the join goroutine after
 	// admission and before execution, making mid-join timing
 	// deterministic.
@@ -167,12 +172,24 @@ func New(cfg Config) (*Server, error) {
 	s.reg.Gauge("pool_steals", func() float64 { return float64(s.pool.Stats().Steals) })
 	s.reg.Gauge("pool_executed_morsels", func() float64 { return float64(s.pool.Stats().Executed) })
 	s.reg.Gauge("probe_table_peak_bytes", func() float64 { return float64(s.peakTableBytes.Load()) })
-	// Spill/restage counters registered eagerly so /stats shows them at
-	// zero before the first skewed join arrives.
+	// Admission occupancy as live gauges, so load tooling can watch the
+	// queue drain without diffing counters.
+	s.reg.Gauge("admission_queue_depth", func() float64 { return float64(s.adm.QueueDepth()) })
+	s.reg.Gauge("admission_used_bytes", func() float64 { return float64(s.adm.Stats().UsedBytes) })
+	s.reg.Gauge("retry_after_hint_sec", func() float64 { return s.retryAfterHint().Seconds() })
+	// Outcome counters registered eagerly so /stats shows them at zero
+	// before the first request arrives — client/server reconciliation
+	// diffs these keys and must find them on both snapshots.
 	for _, name := range []string{
 		"spill_restages_total", "spill_restaged_refs_total", "stream_probes_total",
 		"grant_renegotiations_total", "grant_renegotiations_denied_total",
 		"temp_relations_total",
+		"join_requests_total", "bad_requests", "errors_internal", "join_abandoned",
+		"rejected_saturated", "rejected_deadline", "rejected_too_large", "rejected_draining",
+		"lookups_total", "lookups_ok", "lookups_bad_request", "lookups_not_found",
+		"lookups_failed", "lookups_rejected_draining",
+		"join_executed_nested-loops", "join_executed_sort-merge",
+		"join_executed_grace", "join_executed_hybrid-hash",
 	} {
 		s.counter(name)
 	}
@@ -459,7 +476,20 @@ func (s *Server) handleJoin(rw http.ResponseWriter, r *http.Request) {
 	s.inflight.Add(1)
 	go func() {
 		defer s.inflight.Done()
-		defer s.adm.Release(grant)
+		// The grant is held from execStart until the join finishes — even
+		// when the client abandoned the request — so this is the honest
+		// slot-recycling time the Retry-After hint needs. Releasing before
+		// the done-send below means a caller who has our 200 in hand
+		// observes the budget already balanced.
+		released := false
+		release := func() {
+			if !released {
+				released = true
+				s.recordServiceTime(time.Since(execStart))
+				s.adm.Release(grant)
+			}
+		}
+		defer release()
 		defer os.RemoveAll(tmp)
 		defer func() {
 			if v := recover(); v != nil {
@@ -482,6 +512,7 @@ func (s *Server) handleJoin(rw http.ResponseWriter, r *http.Request) {
 			Pool: s.pool, Ctx: ctx,
 		})
 		s.foldTelemetry(tel)
+		release()
 		done <- outcome{st: st, err: err}
 	}()
 
@@ -528,14 +559,62 @@ func (s *Server) foldTelemetry(tel *mstore.JoinTelemetry) {
 	}
 }
 
+// recordServiceTime folds one admitted join's grant-holding time into
+// the EWMA behind the Retry-After hint (α = 1/8; first sample seeds it).
+func (s *Server) recordServiceTime(d time.Duration) {
+	ns := d.Nanoseconds()
+	for {
+		old := s.meanServiceNs.Load()
+		next := ns
+		if old > 0 {
+			next = old + (ns-old)/8
+			if next <= 0 {
+				next = 1
+			}
+		}
+		if s.meanServiceNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfterHintCap bounds the dynamic Retry-After hint: past 30s a
+// client should treat the service as down, not politely spin.
+const retryAfterHintCap = 30 * time.Second
+
+// hintFor estimates how long a rejected client should back off given the
+// current queue depth: roughly one mean admitted-service time per queued
+// request ahead of it (the rate budget slots recycle at), clamped to
+// [cfg.RetryAfter, 30s] — the configured value is the floor, not a
+// constant.
+func (s *Server) hintFor(queueDepth int) time.Duration {
+	floor := s.cfg.RetryAfter
+	if floor < time.Second {
+		floor = time.Second
+	}
+	mean := time.Duration(s.meanServiceNs.Load())
+	hint := time.Duration(queueDepth) * mean
+	if hint < floor {
+		hint = floor
+	}
+	if hint > retryAfterHintCap {
+		hint = retryAfterHintCap
+	}
+	return hint
+}
+
+// retryAfterHint is hintFor at the live queue depth.
+func (s *Server) retryAfterHint() time.Duration { return s.hintFor(s.adm.QueueDepth()) }
+
 // rejectAdmission maps admission errors onto HTTP statuses: saturation
 // and deadline expiry are retryable (429 with Retry-After), an
 // over-budget grant is not (413).
 func (s *Server) rejectAdmission(rw http.ResponseWriter, err error) {
+	retryAfter := strconv.Itoa(int(math.Ceil(s.retryAfterHint().Seconds())))
 	switch {
 	case errors.Is(err, ErrSaturated):
 		s.inc("rejected_saturated")
-		rw.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
+		rw.Header().Set("Retry-After", retryAfter)
 		writeJSON(rw, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
 	case errors.Is(err, ErrGrantTooLarge):
 		s.inc("rejected_too_large")
@@ -547,7 +626,7 @@ func (s *Server) rejectAdmission(rw http.ResponseWriter, err error) {
 		// Context cancellation or deadline while queued: the client may
 		// retry once load subsides.
 		s.inc("rejected_deadline")
-		rw.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
+		rw.Header().Set("Retry-After", retryAfter)
 		writeJSON(rw, http.StatusTooManyRequests,
 			map[string]string{"error": "admission wait aborted: " + err.Error()})
 	}
@@ -566,30 +645,38 @@ type LookupResponse struct {
 func (s *Server) handleLookup(rw http.ResponseWriter, r *http.Request) {
 	s.inc("lookups_total")
 	// Lookups dereference the mapping too, so they register with the
-	// drain waiter for the same unmap-safety reason joins do.
+	// drain waiter for the same unmap-safety reason joins do. Their
+	// drain rejections are counted apart from joins' so client-side
+	// accounting can reconcile each endpoint exactly.
 	if !s.beginRequest() {
-		s.inc("rejected_draining")
+		s.inc("lookups_rejected_draining")
 		writeJSON(rw, http.StatusServiceUnavailable, map[string]string{"error": "draining"})
 		return
 	}
 	defer s.inflight.Done()
+	start := time.Now()
 	part, err1 := strconv.Atoi(r.URL.Query().Get("part"))
 	index, err2 := strconv.Atoi(r.URL.Query().Get("index"))
 	if err1 != nil || err2 != nil || part < 0 || part >= s.db.D {
+		s.inc("lookups_bad_request")
 		writeJSON(rw, http.StatusBadRequest, map[string]string{"error": "need part=[0..D) and index=N"})
 		return
 	}
 	rel := s.db.R[part]
 	if index < 0 || index >= rel.Count() {
+		s.inc("lookups_not_found")
 		writeJSON(rw, http.StatusNotFound,
 			map[string]string{"error": fmt.Sprintf("R%d has %d objects", part, rel.Count())})
 		return
 	}
 	out, err := s.db.Lookup(part, index)
 	if err != nil {
+		s.inc("lookups_failed")
 		writeJSON(rw, http.StatusInternalServerError, map[string]string{"error": err.Error()})
 		return
 	}
+	s.inc("lookups_ok")
+	s.observe("lookup_latency", time.Since(start))
 	writeJSON(rw, http.StatusOK, LookupResponse{
 		RPart: part, RIndex: index,
 		RID: out.RID, SPart: out.SPart, SIndex: out.SIndex, SWord: out.SWord,
