@@ -130,6 +130,12 @@ func main() {
 	msRuns := flag.Int("mstore-runs", 3, "repetitions per mstore panel point (best is kept)")
 	msOut := flag.String("mstore-out", "BENCH_mstore.json", "output path for the mstore panel baseline")
 	msOnly := flag.Bool("mstore-only", false, "run only the mstore join panel (CI smoke)")
+	msKernels := flag.Bool("mstore-kernels", false,
+		"run only the probe-kernel panel (ns-per-pair, allocs-per-pair, cache counters)")
+	msKernelObjects := flag.Int("kernel-objects", 25600,
+		"objects per relation for the probe-kernel panel")
+	msBaseline := flag.String("mstore-baseline", "",
+		"checked-in BENCH_mstore.json to gate the kernel panel against (>20% ns-per-pair regression fails)")
 	svcObjects := flag.Int("service-objects", 12000, "objects per relation for the service SLO panel")
 	svcD := flag.Int("service-d", 4, "partitions for the service SLO panel")
 	svcDur := flag.Duration("service-duration", 2*time.Second, "load duration per service sweep point")
@@ -142,8 +148,23 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *msKernels {
+		kp, err := runKernelsPanel(*msKernelObjects, *msD, *msRuns)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if *msBaseline != "" {
+			if err := checkKernelsBaseline(*msBaseline, kp); err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("kernel ns-per-pair within 20%% of baseline %s\n", *msBaseline)
+		}
+		return
+	}
 	if *msOnly {
-		if err := runMstorePanel(*msObjects, *msD, *msRuns, *msOut); err != nil {
+		if err := runMstorePanel(*msObjects, *msD, *msRuns, *msKernelObjects, *msOut); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}
@@ -285,7 +306,7 @@ func main() {
 	fmt.Printf("baseline written to %s\n", *out)
 
 	fmt.Fprintln(os.Stderr, "bench: mstore join panel...")
-	if err := runMstorePanel(*msObjects, *msD, *msRuns, *msOut); err != nil {
+	if err := runMstorePanel(*msObjects, *msD, *msRuns, *msKernelObjects, *msOut); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}

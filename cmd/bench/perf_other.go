@@ -1,0 +1,9 @@
+//go:build !linux
+
+package main
+
+// measureCounters on non-Linux hosts: no hardware counters, just run fn.
+func measureCounters(fn func()) perfCounts {
+	fn()
+	return perfCounts{Source: "unavailable"}
+}

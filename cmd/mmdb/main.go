@@ -6,7 +6,7 @@
 // Usage:
 //
 //	mmdb create -dir DIR [-objects N] [-d D] [-objsize B] [-seed N]
-//	mmdb join   -dir DIR [-alg all|auto|nested-loops|sort-merge|grace|hybrid-hash] [-k K] [-mrproc B] [-workers N]
+//	mmdb join   -dir DIR [-alg all|auto|nested-loops|sort-merge|grace|hybrid-hash] [-k K] [-mrproc B] [-workers N] [-radix-bits N] [-probe-batch N]
 //	mmdb bench  -dir DIR [-runs N] [-workers N]
 //	mmdb serve  -dir DIR [-addr :PORT] [-membudget B] [-maxqueue N] [-workers N]
 package main
@@ -171,6 +171,8 @@ func cmdJoin(args []string) {
 	k := fs.Int("k", 0, "Grace bucket count (0: derive from -mrproc)")
 	mrproc := fs.Int64("mrproc", 1<<20, "private memory grant per partition goroutine, bytes")
 	workers := fs.Int("workers", 0, "morsel-pool size, the CPU parallelism (0: GOMAXPROCS)")
+	radixBits := fs.Int("radix-bits", 0, "per-pass radix partitioning fan-out, bits (0: default 8)")
+	probeBatch := fs.Int("probe-batch", 0, "probe gather-batch width, refs (0: default 64)")
 	fs.Parse(args)
 	if *dir == "" {
 		fatal(fmt.Errorf("join: -dir required"))
@@ -184,7 +186,10 @@ func cmdJoin(args []string) {
 
 	run := func(a join.Algorithm) {
 		start := time.Now()
-		st, err := db.Run(mstore.JoinRequest{Algorithm: a, MRproc: *mrproc, K: *k, Workers: *workers})
+		st, err := db.Run(mstore.JoinRequest{
+			Algorithm: a, MRproc: *mrproc, K: *k, Workers: *workers,
+			RadixBits: *radixBits, ProbeBatch: *probeBatch,
+		})
 		if err != nil {
 			fatal(err)
 		}
@@ -206,7 +211,7 @@ func cmdJoin(args []string) {
 		mcfg.D = *d
 		choice, err := planner.New(model.Calibrate(mcfg, 400, 1), nil).ChooseFor(join.Request{
 			Config: mcfg,
-			Params: join.Params{Workload: w, MRproc: *mrproc, K: *k},
+			Params: join.Params{Workload: w, MRproc: *mrproc, K: *k, RadixBits: *radixBits},
 		})
 		if err != nil {
 			fatal(err)

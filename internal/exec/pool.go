@@ -163,6 +163,79 @@ func (p *Pool) Run(ctx context.Context, tasks []Task) error {
 	return j.err
 }
 
+// Job is a Run in progress whose task set can still grow: tasks added
+// with Add — including from inside one of the job's own tasks — join
+// the same job, and Wait blocks until every task, original or added,
+// has retired. It exists for pipelined operators (the MPSM-style
+// sort-merge) where the completion of one stage's last morsel for a
+// data partition enqueues that partition's next stage immediately,
+// instead of waiting for a global barrier across all partitions.
+type Job struct {
+	p      *Pool
+	j      *job
+	waited atomic.Bool
+}
+
+// Begin opens a job with no tasks yet. The caller must eventually call
+// Wait exactly once; Add may be called any number of times before the
+// final task retires (in particular, from inside the job's own tasks).
+func (p *Pool) Begin(ctx context.Context) *Job {
+	j := &job{ctx: ctx, done: make(chan struct{})}
+	// One "open" token keeps the job alive until Wait retires it, so an
+	// empty or still-filling job never closes done early.
+	j.pending.Store(1)
+	p.jobs.Add(1)
+	return &Job{p: p, j: j}
+}
+
+// Add enqueues more tasks onto the job. Safe to call from inside one of
+// the job's tasks: the calling task has not retired, so the job cannot
+// complete concurrently. Add after the pool closed fails the job and
+// returns ErrClosed.
+func (jb *Job) Add(tasks ...Task) error {
+	if len(tasks) == 0 {
+		return nil
+	}
+	jb.j.pending.Add(int64(len(tasks)))
+	p := jb.p
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		jb.j.fail(ErrClosed)
+		for range tasks {
+			jb.j.retire()
+		}
+		return ErrClosed
+	}
+	for _, fn := range tasks {
+		p.deques[p.rr] = append(p.deques[p.rr], morsel{j: jb.j, fn: fn})
+		p.rr = (p.rr + 1) % p.workers
+		p.queued++
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	return nil
+}
+
+// Wait retires the job's open token and blocks until every task has
+// retired, returning the job's first error (as Run does). Cancelling
+// ctx skips still-queued tasks but waits for in-flight ones.
+func (jb *Job) Wait() error {
+	if jb.waited.Swap(true) {
+		panic("exec: Job.Wait called twice")
+	}
+	jb.j.retire()
+	select {
+	case <-jb.j.done:
+	case <-jb.j.ctx.Done():
+		jb.j.fail(jb.j.ctx.Err())
+		<-jb.j.done
+	}
+	jb.j.mu.Lock()
+	defer jb.j.mu.Unlock()
+	return jb.j.err
+}
+
 // RunRanges splits [0, n) into contiguous ranges of at most morsel
 // objects and runs fn over them as one job.
 func (p *Pool) RunRanges(ctx context.Context, n, morsel int, fn func(worker, lo, hi int) error) error {

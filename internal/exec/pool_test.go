@@ -229,6 +229,82 @@ func TestCloseDrainsQueuedWork(t *testing.T) {
 	}
 }
 
+func TestJobAddFromInsideTask(t *testing.T) {
+	// The pipelining contract: a task may enqueue follow-on tasks onto
+	// its own job, and Wait observes all of them. Three generations deep.
+	p := NewPool(3)
+	defer p.Close()
+	var n atomic.Int64
+	jb := p.Begin(context.Background())
+	var spawn func(depth int) Task
+	spawn = func(depth int) Task {
+		return func(int) error {
+			n.Add(1)
+			if depth < 2 {
+				for i := 0; i < 4; i++ {
+					if err := jb.Add(spawn(depth + 1)); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+	}
+	if err := jb.Add(spawn(0), spawn(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := jb.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(2 * (1 + 4 + 16)); n.Load() != want {
+		t.Fatalf("executed %d tasks, want %d", n.Load(), want)
+	}
+}
+
+func TestJobEmptyWaitReturnsImmediately(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	if err := p.Begin(context.Background()).Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJobErrorSkipsLaterAdds(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	boom := errors.New("boom")
+	var after atomic.Int64
+	jb := p.Begin(context.Background())
+	// One batch, failing task last: the 1-worker pool pops its own deque
+	// LIFO, so the failure lands before the bulk of the queued tasks.
+	tasks := make([]Task, 0, 101)
+	for i := 0; i < 100; i++ {
+		tasks = append(tasks, func(int) error { after.Add(1); return nil })
+	}
+	tasks = append(tasks, func(int) error { return boom })
+	if err := jb.Add(tasks...); err != nil {
+		t.Fatal(err)
+	}
+	if err := jb.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if p.Stats().Skipped == 0 {
+		t.Fatalf("no tasks skipped after failure (ran %d)", after.Load())
+	}
+}
+
+func TestJobAddAfterCloseFails(t *testing.T) {
+	p := NewPool(1)
+	jb := p.Begin(context.Background())
+	p.Close()
+	if err := jb.Add(func(int) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Add err = %v", err)
+	}
+	if err := jb.Wait(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Wait err = %v", err)
+	}
+}
+
 func TestNewPoolDefaultsToGOMAXPROCS(t *testing.T) {
 	p := NewPool(0)
 	defer p.Close()

@@ -56,7 +56,9 @@ func PredictHybridHash(c Calibration, in Inputs) (*Prediction, error) {
 	rsi := q.ri * in.Skew
 
 	f0, k, tsize := hybridPlan(c, in, rsi, q.sj)
-	over := 1 - f0 // overflow fraction
+	passes := radixPasses(k, in.RadixBits)
+	kEff := min(k, 1<<in.RadixBits) // per-pass fan-out (see PredictGrace)
+	over := 1 - f0                  // overflow fraction
 	prpi := pages(rpi*float64(in.R), c.B)
 	prsi := pages(over*rsi*float64(in.R), c.B)
 	priiOver := pages(over*rii*float64(in.R), c.B)
@@ -76,7 +78,7 @@ func PredictHybridHash(c Calibration, in Inputs) (*Prediction, error) {
 	if k > 0 {
 		p.add("pass0 write RSi", sim.Time((priiOver+float64(k))*c.DTTW.Eval(band0)))
 		fill0 := (d - 1) / (float64(c.B) / float64(in.R))
-		thrash0 := GraceThrash(int(over*rii), k, int(q.frames), in.D, fill0)
+		thrash0 := GraceThrash(int(over*rii), kEff, int(q.frames), in.D, fill0)
 		p.add("pass0 thrash", sim.Time(thrash0*(c.DTTR.Eval(band0)+c.DTTW.Eval(band0))))
 	}
 	p.add("resident Si faults", sim.Time(f0*q.psi*c.DTTR.Eval(band0)))
@@ -87,8 +89,17 @@ func PredictHybridHash(c Calibration, in Inputs) (*Prediction, error) {
 	if k > 0 {
 		p.add("pass1 write RSi", sim.Time((over*prpi+float64(k))*c.DTTW.Eval(band1)))
 		fill1 := 1 / (float64(c.B) / float64(in.R))
-		thrash1 := GraceThrash(int(over*rpi), k, int(q.frames), 1, fill1)
+		thrash1 := GraceThrash(int(over*rpi), kEff, int(q.frames), 1, fill1)
 		p.add("pass1 thrash", sim.Time(thrash1*(c.DTTR.Eval(band1)+c.DTTW.Eval(band1))))
+		// Extra radix passes on the overflow portion (see PredictGrace);
+		// zero when the overflow bucket count fits one pass's fan-out.
+		if passes > 1 {
+			extra := float64(passes - 1)
+			p.add("radix pass io", sim.Time(extra*(prsi*c.DTTR.Eval(band1)+
+				(prsi+float64(kEff))*c.DTTW.Eval(band1))))
+			p.add("radix pass cpu", sim.Time(extra*over*rsi)*c.Hash+
+				sim.Time(extra*over*rsi*float64(in.R)*c.MTpp))
+		}
 	}
 
 	// Probe: overflow buckets and the corresponding (1−f0)·PSi suffix.

@@ -28,11 +28,11 @@ import (
 // bit-identical Pairs/Signature: the adaptations reorder work, and the
 // join statistics fold as commutative sums.
 
-// probeRefBytes is the counted in-memory footprint of one bucket-table
-// reference: a map entry (key plus bucket overhead) and one chain slot.
-// The limiter's bound is over these counted bytes — the same accounting
-// the grant-bound invariant tests measure.
-const probeRefBytes = 48
+// The counted in-memory footprint of one bucket's probe table is
+// tableBytesFor (join.go): the flat open-addressing slot arrays at
+// their real load factor plus the per-reference chain and sweep
+// entries. The limiter's bound is over these counted bytes — the same
+// accounting the grant-bound invariant tests measure.
 
 // streamHandleBytes is the per-reference cost of the streaming probe's
 // chunk handle array (one int32 index).
@@ -87,6 +87,9 @@ type JoinTelemetry struct {
 	// probe memory (counted bytes). The grant-bound invariant is
 	// PeakTableBytes ≤ grant + ExtraGrantBytes.
 	PeakTableBytes atomic.Int64
+	// RadixPasses is the partitioning pass count the bucketed joins
+	// chose (radixPlan): 1 until K exceeds 2^RadixBits.
+	RadixPasses atomic.Int64
 }
 
 // memLimiter enforces a join-wide byte budget over the in-memory

@@ -26,9 +26,16 @@ import (
 // accumulators are summed at the end. Pairs and Signature are
 // commutative sums, so results are bit-identical at any worker count
 // and under any steal schedule.
+//
+// The inner loops themselves live in the kernel layer (kernel*.go):
+// batched pointer dereference, flat arena-backed probe tables, and
+// multi-pass radix partitioning, all gated on bit-identical
+// Pairs/Signature against the reference loops kept here (joinOne,
+// probeBucketMap).
 
 // joinOne dereferences one R object's stored pointer through the
-// mapping and folds the pair into st.
+// mapping and folds the pair into st — the scalar reference kernel the
+// batched joinKernel is gated against.
 func (db *DB) joinOne(obj []byte, st *JoinStats) {
 	ptr := DecodeSPtr(obj)
 	s := db.S[ptr.Part].At(ptr.Off)
@@ -64,10 +71,26 @@ func (s perWorker) total() JoinStats {
 	return t
 }
 
+// morselCount is the number of tasks rangeTasks emits for n objects.
+func morselCount(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + morselObjs - 1) / morselObjs
+}
+
 // rangeTasks appends one task per morselObjs-sized range of [0, n).
+// Empty inputs append nothing, and every emitted range is non-empty —
+// the pool never churns through zero-width morsels.
 func rangeTasks(tasks []exec.Task, n int, fn func(w, lo, hi int) error) []exec.Task {
+	if n <= 0 {
+		return tasks
+	}
 	for lo := 0; lo < n; lo += morselObjs {
 		lo, hi := lo, min(lo+morselObjs, n)
+		if hi <= lo {
+			continue
+		}
 		tasks = append(tasks, func(w int) error { return fn(w, lo, hi) })
 	}
 	return tasks
@@ -141,7 +164,14 @@ func rankBucket(idx, k, n int) int {
 // relation is well-formed.
 func (db *DB) tmpRelation(dir, name string, capacity int) (*Relation, error) {
 	capacity = max(capacity, 1)
-	seg, err := Create(filepath.Join(dir, name), int64(db.ObjSize)*int64(capacity)+4096)
+	path := filepath.Join(dir, name)
+	// Temp names must be unique within a join: Create truncates, so a
+	// colliding name would silently corrupt a live temporary (a real bug
+	// the multi-pass naming scheme once had) instead of failing.
+	if _, err := os.Lstat(path); err == nil {
+		return nil, fmt.Errorf("mstore: temp relation name collision: %s", path)
+	}
+	seg, err := Create(path, int64(db.ObjSize)*int64(capacity)+4096)
 	if err != nil {
 		return nil, err
 	}
@@ -152,19 +182,20 @@ func (db *DB) tmpRelation(dir, name string, capacity int) (*Relation, error) {
 // the mapped store on an ephemeral GOMAXPROCS-sized pool.
 func (db *DB) NestedLoops(tmpDir string) (JoinStats, error) {
 	return ephemeralPool(func(p *exec.Pool) (JoinStats, error) {
-		return db.nestedLoops(context.Background(), p, tmpDir)
+		return db.nestedLoops(context.Background(), p, tmpDir, kernelConfig{})
 	})
 }
 
 // nestedLoops: pass 0 scans Ri in morsels, joining own-partition
-// references immediately and sub-partitioning the rest into temporary
-// RP<i,j> relations; pass 1 probes the sub-partitions in the paper's
-// staggered phase order (§5.1).
-func (db *DB) nestedLoops(ctx context.Context, p *exec.Pool, tmpDir string) (JoinStats, error) {
+// references immediately through the batched kernel and
+// sub-partitioning the rest into temporary RP<i,j> relations; pass 1
+// probes the sub-partitions in the paper's staggered phase order (§5.1).
+func (db *DB) nestedLoops(ctx context.Context, p *exec.Pool, tmpDir string, kc kernelConfig) (JoinStats, error) {
 	if err := os.MkdirAll(tmpDir, 0o755); err != nil {
 		return JoinStats{}, err
 	}
 	d := db.D
+	kern := newJoinKernel(db, kc.withDefaults())
 	// Measured pointer distribution: counts[i][j] sizes RP<i,j> exactly.
 	// (The former sizing at |Ri| wrote D−1 full-size files per
 	// partition.) The Appender grows on overflow, so the measure is a
@@ -203,14 +234,16 @@ func (db *DB) nestedLoops(ctx context.Context, p *exec.Pool, tmpDir string) (Joi
 	for i, ri := range db.R {
 		tasks = rangeTasks(tasks, ri.Count(), func(w, lo, hi int) error {
 			st := &stats[w].JoinStats
+			b := kern.newBatch()
 			for x := lo; x < hi; x++ {
 				obj := ri.Object(x)
 				if part := int(DecodeSPtr(obj).Part); part == i {
-					db.joinOne(obj, st)
+					b.add(obj, st)
 				} else if err := rp[i][part].Append(obj); err != nil {
 					return err
 				}
 			}
+			b.flush(st)
 			return nil
 		})
 	}
@@ -237,10 +270,7 @@ func (db *DB) nestedLoops(ctx context.Context, p *exec.Pool, tmpDir string) (Joi
 			}
 			sub := ap.Relation()
 			tasks = rangeTasks(tasks, sub.Count(), func(w, lo, hi int) error {
-				st := &stats[w].JoinStats
-				for x := lo; x < hi; x++ {
-					db.joinOne(sub.Object(x), st)
-				}
+				kern.joinRange(sub, lo, hi, &stats[w].JoinStats)
 				return nil
 			})
 		}
@@ -255,7 +285,7 @@ func (db *DB) nestedLoops(ctx context.Context, p *exec.Pool, tmpDir string) (Joi
 // ephemeral GOMAXPROCS-sized pool.
 func (db *DB) SortMerge(tmpDir string) (JoinStats, error) {
 	return ephemeralPool(func(p *exec.Pool) (JoinStats, error) {
-		return db.sortMerge(context.Background(), p, tmpDir)
+		return db.sortMerge(context.Background(), p, tmpDir, kernelConfig{})
 	})
 }
 
@@ -273,17 +303,25 @@ func sortSplitCount(workers, d, count int) int {
 }
 
 // sortMerge: passes 0/1 form the RSj partitions directly through
-// concurrent appenders (one atomic slot claim per object — the former
-// one-temp-file-per-writer pieces and their concatenation collapse);
-// each RSj is then sorted by S address via parallel partition-then-sort
-// — counted split by address range, scattered, each split heap-sorted
-// in place — and the final scan probes Si in ascending address order
-// within every split.
-func (db *DB) sortMerge(ctx context.Context, p *exec.Pool, tmpDir string) (JoinStats, error) {
+// concurrent appenders (one atomic slot claim per object); each RSj is
+// then sorted by S address via parallel partition-then-sort and the
+// final scan batch-probes Si in ascending address order within every
+// split.
+//
+// The sort-probe phase is MPSM-style partition-local: all of it runs as
+// ONE dynamic job with no global barrier between stages. The last
+// split-count morsel of partition j immediately builds j's prefix sums,
+// creates its split-layout relation, and enqueues j's scatter; the last
+// scatter morsel enqueues j's sort+probe splits. A small partition
+// sorts and probes while a large one is still counting — under skew the
+// former global barriers idled every worker on the largest partition
+// three times.
+func (db *DB) sortMerge(ctx context.Context, p *exec.Pool, tmpDir string, kc kernelConfig) (JoinStats, error) {
 	if err := os.MkdirAll(tmpDir, 0o755); err != nil {
 		return JoinStats{}, err
 	}
 	d := db.D
+	kern := newJoinKernel(db, kc.withDefaults())
 	counts, err := db.refCounts(ctx, p)
 	if err != nil {
 		return JoinStats{}, err
@@ -333,24 +371,78 @@ func (db *DB) sortMerge(ctx context.Context, p *exec.Pool, tmpDir string) (JoinS
 		rs[j].Seal()
 	}
 
-	// Partition-then-sort: split each RSj into contiguous S-address
-	// ranges so the splits sort and probe independently.
+	// Partition-local sort-merge: split each RSj into contiguous
+	// S-address ranges so the splits sort and probe independently.
 	splits := make([]int, d)
+	splitCounts := make([][]int64, d)
 	starts := make([][]int64, d)         // split start offsets after prefix sums
 	cursors := make([][]atomic.Int64, d) // scatter cursors per split
+	countLeft := make([]atomic.Int64, d)
+	scatterLeft := make([]atomic.Int64, d)
+	stats := newPerWorker(p)
 	splitOf := func(j int, off Ptr) int {
 		rel := db.S[j]
 		return rankBucket(rel.IndexOf(off), splits[j], rel.Count())
 	}
-	// Count split occupancy morsel-parallel.
-	splitCounts := make([][]int64, d)
-	tasks = tasks[:0]
+
+	jb := p.Begin(ctx)
+	// One split's terminal stage: heap-sort a handle array over the
+	// mapped records by S pointer, apply the permutation in place, then
+	// batch-probe — sequential in both the split and Si.
+	sortProbe := func(j, lo, hi int) exec.Task {
+		return func(w int) error {
+			rel := srt[j]
+			handles := make([]int32, hi-lo)
+			for h := range handles {
+				handles[h] = int32(h)
+			}
+			pheap.Sort(handles, func(a, b int32) bool {
+				return DecodeSPtr(rel.Object(lo+int(a))).Off < DecodeSPtr(rel.Object(lo+int(b))).Off
+			})
+			permuteRange(rel, lo, handles)
+			kern.joinRange(rel, lo, hi, &stats[w].JoinStats)
+			return nil
+		}
+	}
 	for j := 0; j < d; j++ {
-		splits[j] = sortSplitCount(p.Workers(), d, int(rsTotal[j]))
-		splitCounts[j] = make([]int64, splits[j])
-		rel := rs[j].Relation()
 		j := j
-		tasks = rangeTasks(tasks, rel.Count(), func(_, lo, hi int) error {
+		rel := rs[j].Relation()
+		n := rel.Count()
+		if n == 0 {
+			continue
+		}
+		splits[j] = sortSplitCount(p.Workers(), d, n)
+		splitCounts[j] = make([]int64, splits[j])
+		countLeft[j].Store(int64(morselCount(n)))
+		scatterLeft[j].Store(int64(morselCount(n)))
+
+		scatter := func(_, lo, hi int) error {
+			dst := srt[j]
+			// Slots are claimed atomically, so no two writers touch one
+			// record; order within a split is arbitrary — the sort
+			// imposes the final order.
+			for x := lo; x < hi; x++ {
+				obj := rel.Object(x)
+				slot := cursors[j][splitOf(j, DecodeSPtr(obj).Off)].Add(1) - 1
+				copy(dst.seg.Bytes(dst.PtrAt(int(slot)), dst.size), obj)
+			}
+			if scatterLeft[j].Add(-1) == 0 {
+				// Partition j fully scattered: enqueue its sort+probe
+				// splits without waiting for the other partitions.
+				var sp []exec.Task
+				for b := 0; b < splits[j]; b++ {
+					lo, hi := int(starts[j][b]), int(starts[j][b]+splitCounts[j][b])
+					if lo < hi {
+						sp = append(sp, sortProbe(j, lo, hi))
+					}
+				}
+				return jb.Add(sp...)
+			}
+			return nil
+		}
+
+		var count []exec.Task
+		count = rangeTasks(count, n, func(_, lo, hi int) error {
 			local := make([]int64, splits[j])
 			for x := lo; x < hi; x++ {
 				local[splitOf(j, DecodeSPtr(rel.Object(x)).Off)]++
@@ -360,77 +452,35 @@ func (db *DB) sortMerge(ctx context.Context, p *exec.Pool, tmpDir string) (JoinS
 					atomic.AddInt64(&splitCounts[j][b], c)
 				}
 			}
-			return nil
-		})
-	}
-	if err := p.Run(ctx, tasks); err != nil {
-		return JoinStats{}, err
-	}
-	for j := 0; j < d; j++ {
-		starts[j] = make([]int64, splits[j])
-		cursors[j] = make([]atomic.Int64, splits[j])
-		off := int64(0)
-		for b := 0; b < splits[j]; b++ {
-			starts[j][b] = off
-			cursors[j][b].Store(off)
-			off += splitCounts[j][b]
-		}
-		rel, err := db.tmpRelation(tmpDir, fmt.Sprintf("SRT%d.seg", j), int(rsTotal[j]))
-		if err != nil {
-			return JoinStats{}, err
-		}
-		srt[j] = rel
-	}
-	// Scatter into the split layout (slots are claimed atomically, so no
-	// two writers touch one record; order within a split is arbitrary —
-	// the sort imposes the final order).
-	tasks = tasks[:0]
-	for j := 0; j < d; j++ {
-		src, dst := rs[j].Relation(), srt[j]
-		j := j
-		tasks = rangeTasks(tasks, src.Count(), func(_, lo, hi int) error {
-			for x := lo; x < hi; x++ {
-				obj := src.Object(x)
-				slot := cursors[j][splitOf(j, DecodeSPtr(obj).Off)].Add(1) - 1
-				copy(dst.seg.Bytes(dst.PtrAt(int(slot)), dst.size), obj)
+			if countLeft[j].Add(-1) == 0 {
+				// Partition j fully counted: prefix sums, split-layout
+				// relation, and its scatter morsels — still inside the
+				// same job.
+				starts[j] = make([]int64, splits[j])
+				cursors[j] = make([]atomic.Int64, splits[j])
+				off := int64(0)
+				for b := 0; b < splits[j]; b++ {
+					starts[j][b] = off
+					cursors[j][b].Store(off)
+					off += splitCounts[j][b]
+				}
+				dst, err := db.tmpRelation(tmpDir, fmt.Sprintf("SRT%d.seg", j), n)
+				if err != nil {
+					return err
+				}
+				dst.SetCount(n)
+				srt[j] = dst
+				var sc []exec.Task
+				sc = rangeTasks(sc, n, scatter)
+				return jb.Add(sc...)
 			}
 			return nil
 		})
-	}
-	if err := p.Run(ctx, tasks); err != nil {
-		return JoinStats{}, err
-	}
-	stats := newPerWorker(p)
-	tasks = tasks[:0]
-	for j := 0; j < d; j++ {
-		srt[j].SetCount(int(rsTotal[j]))
-		// One task per split: heap-sort a handle array over the mapped
-		// records by S pointer, apply the permutation in place, then
-		// probe — sequential in both the split and Si.
-		for b := 0; b < splits[j]; b++ {
-			rel := srt[j]
-			lo, hi := int(starts[j][b]), int(starts[j][b]+splitCounts[j][b])
-			if lo == hi {
-				continue
-			}
-			tasks = append(tasks, func(w int) error {
-				handles := make([]int32, hi-lo)
-				for h := range handles {
-					handles[h] = int32(h)
-				}
-				pheap.Sort(handles, func(a, b int32) bool {
-					return DecodeSPtr(rel.Object(lo+int(a))).Off < DecodeSPtr(rel.Object(lo+int(b))).Off
-				})
-				permuteRange(rel, lo, handles)
-				st := &stats[w].JoinStats
-				for x := lo; x < hi; x++ {
-					db.joinOne(rel.Object(x), st)
-				}
-				return nil
-			})
+		if err := jb.Add(count...); err != nil {
+			break // the job is failed; Wait returns the error
 		}
 	}
-	if err := p.Run(ctx, tasks); err != nil {
+	if err := jb.Wait(); err != nil {
 		return JoinStats{}, err
 	}
 	return stats.total(), nil
@@ -467,126 +517,40 @@ func permuteRange(rel *Relation, lo int, handles []int32) {
 // GOMAXPROCS-sized pool with no probe-memory bound.
 func (db *DB) Grace(tmpDir string, k int) (JoinStats, error) {
 	return ephemeralPool(func(p *exec.Pool) (JoinStats, error) {
-		return db.grace(context.Background(), p, tmpDir, k, newMemLimiter(0, nil, nil))
+		return db.grace(context.Background(), p, tmpDir, k, kernelConfig{}, newMemLimiter(0, nil, nil))
 	})
 }
 
-// grace: the scan morsels hash every R object into one of k
-// order-preserving buckets per S partition (concurrent atomic-claim
-// appends), then every (partition, bucket) pair probes independently —
-// an in-memory table per bucket, chains walked in ascending S address.
-// Probe memory is metered by lim; oversized buckets restage or stream
-// (see probeEnv) instead of overshooting the grant.
-func (db *DB) grace(ctx context.Context, p *exec.Pool, tmpDir string, k int, lim *memLimiter) (JoinStats, error) {
+// grace: the scan hashes every R object into one of k order-preserving
+// buckets per S partition — multi-pass radix partitioning when k
+// exceeds the per-pass fan-out (see bucketedJoin) — then every
+// (partition, bucket) pair probes independently through the flat-table
+// kernel. Probe memory is metered by lim; oversized buckets restage or
+// stream (see probeEnv) instead of overshooting the grant.
+func (db *DB) grace(ctx context.Context, p *exec.Pool, tmpDir string, k int, kc kernelConfig, lim *memLimiter) (JoinStats, error) {
 	if k < 1 {
 		return JoinStats{}, fmt.Errorf("mstore: Grace needs k >= 1, got %d", k)
 	}
 	if err := os.MkdirAll(tmpDir, 0o755); err != nil {
 		return JoinStats{}, err
 	}
-	d := db.D
-	// The order-preserving hash: bucket by position of the S offset
-	// within the partition's data area.
-	bucketOf := func(ptr SPtr) int {
-		rel := db.S[ptr.Part]
-		return rankBucket(rel.IndexOf(ptr.Off), k, rel.Count())
+	bj := &bucketedJoin{
+		db: db, tmpDir: tmpDir, prefix: "gr", k: k, kc: kc.withDefaults(), lim: lim,
+		// The order-preserving hash: bucket by position of the S offset
+		// within the partition's data area.
+		bucketOf: func(ptr SPtr) int {
+			rel := db.S[ptr.Part]
+			return rankBucket(rel.IndexOf(ptr.Off), k, rel.Count())
+		},
 	}
-
-	// Counting pass (morsel-parallel; it used to be a sequential scan of
-	// all of R): size each bucket file exactly.
-	counts := make([][]int64, d)
-	for j := range counts {
-		counts[j] = make([]int64, k)
-	}
-	var tasks []exec.Task
-	for _, ri := range db.R {
-		tasks = rangeTasks(tasks, ri.Count(), func(_, lo, hi int) error {
-			for x := lo; x < hi; x++ {
-				ptr := DecodeSPtr(ri.Object(x))
-				atomic.AddInt64(&counts[ptr.Part][bucketOf(ptr)], 1)
-			}
-			return nil
-		})
-	}
-	if err := p.Run(ctx, tasks); err != nil {
-		return JoinStats{}, err
-	}
-
-	buckets := make([][]*Appender, d)
-	defer func() {
-		for j := range buckets {
-			for _, ap := range buckets[j] {
-				if ap != nil {
-					ap.Relation().Segment().Delete()
-				}
-			}
-		}
-	}()
-	// Buckets materialize lazily: a measured-empty bucket gets no
-	// appender and no segment file at all. (The former eager D×K
-	// creation meant 32k mmap'd files per join at D=64, K=512 — fd and
-	// VMA exhaustion under serving load.)
-	for j := 0; j < d; j++ {
-		buckets[j] = make([]*Appender, k)
-		for b := 0; b < k; b++ {
-			if counts[j][b] == 0 {
-				continue
-			}
-			rel, err := db.tmpRelation(tmpDir, fmt.Sprintf("gr_%d_%d.seg", j, b), int(counts[j][b])+1)
-			if err != nil {
-				return JoinStats{}, err
-			}
-			lim.tel.TempFiles.Add(1)
-			buckets[j][b] = NewAppender(rel)
-		}
-	}
-
-	tasks = tasks[:0]
-	for _, ri := range db.R {
-		tasks = rangeTasks(tasks, ri.Count(), func(_, lo, hi int) error {
-			for x := lo; x < hi; x++ {
-				obj := ri.Object(x)
-				ptr := DecodeSPtr(obj)
-				if err := buckets[ptr.Part][bucketOf(ptr)].Append(obj); err != nil {
-					return err
-				}
-			}
-			return nil
-		})
-	}
-	if err := p.Run(ctx, tasks); err != nil {
-		return JoinStats{}, err
-	}
-
-	env := &probeEnv{db: db, lim: lim, tmpDir: tmpDir}
-	stats := newPerWorker(p)
-	tasks = tasks[:0]
-	for j := 0; j < d; j++ {
-		for b := 0; b < k; b++ {
-			ap := buckets[j][b]
-			if ap == nil {
-				continue
-			}
-			ap.Seal()
-			rel := ap.Relation()
-			if rel.Count() == 0 {
-				continue
-			}
-			tasks = append(tasks, func(w int) error {
-				return env.probe(rel, &stats[w].JoinStats, 0)
-			})
-		}
-	}
-	if err := p.Run(ctx, tasks); err != nil {
-		return JoinStats{}, err
-	}
-	return stats.total(), nil
+	return bj.run(ctx, p)
 }
 
-// probeBucket joins one bucket: an in-memory hash table where common
-// references share a chain, the chains walked in ascending S address so
-// each S object is read once, sequentially.
-func (db *DB) probeBucket(rel *Relation, st *JoinStats) {
+// probeBucketMap joins one bucket through the original per-bucket Go
+// map. It is the reference kernel the flat table is gated against
+// (TestKernelFlatMatchesMap) and the "map" baseline of the bench
+// kernels panel; the joins themselves always use probeFlat.
+func (db *DB) probeBucketMap(rel *Relation, st *JoinStats) {
 	table := make(map[Ptr][]int, rel.Count())
 	for x := 0; x < rel.Count(); x++ {
 		off := DecodeSPtr(rel.Object(x)).Off
@@ -604,39 +568,56 @@ func (db *DB) probeBucket(rel *Relation, st *JoinStats) {
 	}
 }
 
-// tableBytesFor is the counted footprint of a bucket's probe table.
-func tableBytesFor(refs int) int64 { return int64(refs) * probeRefBytes }
+// tableBytesFor is the counted footprint of one bucket's flat probe
+// table: the open-addressing slot arrays (8 B key + 4 B head per slot,
+// power-of-two slots at ≤3/4 load factor) plus the per-reference chain
+// link (4 B) and the distinct-key sweep arrays (worst case 12 B per
+// reference, when every reference is distinct).
+func tableBytesFor(refs int) int64 {
+	return tableSlots(refs)*12 + int64(refs)*16
+}
 
 // probeEnv carries the grant machinery of one join's probe stage. Each
 // probe task reserves its table's counted bytes from the shared limiter
 // before building it, so the sum over concurrently built tables never
-// exceeds the grant — the invariant the skew tests assert.
+// exceeds the grant — the invariant the skew tests assert. The flat
+// tables build inside per-worker arenas; an arena retains its high-water
+// capacity between buckets (that is the zero-alloc steady state), which
+// stays within the accounting because a worker builds one table at a
+// time and every build is reserved at full size first.
 type probeEnv struct {
 	db     *DB
+	kern   *joinKernel
 	lim    *memLimiter
 	tmpDir string
 	seq    atomic.Int64 // unique names for restage temp relations
+	arenas []probeArena // per-worker table storage
 }
 
-// probe joins one bucket within the grant. The fast path reserves the
-// table's bytes (waiting for concurrent probes when the grant is
-// temporarily occupied) and builds it as before. A bucket whose table
-// can never fit — renegotiation included — is restaged into sub-buckets
-// on disk until each fits, and a bucket whose references collapse onto
-// a single S object (one hot key) streams instead: restaging cannot
-// split it, but it also needs no table.
-func (e *probeEnv) probe(rel *Relation, st *JoinStats, depth int) error {
+func newProbeEnv(db *DB, kern *joinKernel, lim *memLimiter, tmpDir string, workers int) *probeEnv {
+	return &probeEnv{db: db, kern: kern, lim: lim, tmpDir: tmpDir, arenas: make([]probeArena, workers)}
+}
+
+// probe joins one bucket within the grant on worker w. The fast path
+// reserves the table's bytes (waiting for concurrent probes when the
+// grant is temporarily occupied) and builds the flat table in w's
+// arena. A bucket whose table can never fit — renegotiation included —
+// is restaged into sub-buckets on disk until each fits, and a bucket
+// whose references collapse onto a single S object (one hot key)
+// streams instead: restaging cannot split it, but it also needs no
+// table.
+func (e *probeEnv) probe(w int, rel *Relation, st *JoinStats, depth int) error {
 	need := tableBytesFor(rel.Count())
 	if e.lim.reserve(need) {
 		defer e.lim.release(need)
-		e.db.probeBucket(rel, st)
+		e.kern.probeFlat(&e.arenas[w], rel, st)
 		return nil
 	}
 	lo, hi := e.indexSpan(rel)
 	if depth >= maxRestageDepth || lo >= hi {
 		return e.streamProbe(rel, st)
 	}
-	return e.restage(rel, st, lo, hi, depth)
+	return e.restage(w, rel, st, lo, hi, depth)
 }
 
 // indexSpan scans a bucket and returns the minimum and maximum S index
@@ -658,7 +639,7 @@ func (e *probeEnv) indexSpan(rel *Relation) (lo, hi int) {
 // grant; skew that concentrates references recurses, narrowing the
 // S-index span every pass (min and max always separate), until each
 // sub-bucket either fits or has collapsed onto a single hot key.
-func (e *probeEnv) restage(rel *Relation, st *JoinStats, lo, hi, depth int) error {
+func (e *probeEnv) restage(w int, rel *Relation, st *JoinStats, lo, hi, depth int) error {
 	span := hi - lo + 1
 	budget := max(e.lim.budgetNow(), 1)
 	sub := int((tableBytesFor(rel.Count()) + budget - 1) / budget)
@@ -704,7 +685,7 @@ func (e *probeEnv) restage(rel *Relation, st *JoinStats, lo, hi, depth int) erro
 			continue
 		}
 		aps[b].Seal()
-		if err := e.probe(aps[b].Relation(), st, depth+1); err != nil {
+		if err := e.probe(w, aps[b].Relation(), st, depth+1); err != nil {
 			return err
 		}
 		aps[b].Relation().Segment().Delete()
@@ -716,7 +697,8 @@ func (e *probeEnv) restage(rel *Relation, st *JoinStats, lo, hi, depth int) erro
 // streamProbe joins one bucket without ever building its table: the
 // bucket is processed in grant-sized chunks whose handles are sorted by
 // S address, so memory is bounded by one chunk's handle array while the
-// probe still walks S in ascending order within each chunk. Correctness
+// probe still walks S in ascending order within each chunk — and the
+// ordered walk is batch-gathered like every other kernel. Correctness
 // does not depend on the order — Pairs and Signature fold as
 // commutative sums — so the result stays bit-identical.
 func (e *probeEnv) streamProbe(rel *Relation, st *JoinStats) error {
@@ -730,9 +712,11 @@ func (e *probeEnv) streamProbe(rel *Relation, st *JoinStats) error {
 	if !e.lim.reserve(bytes) {
 		// A grant below one handle: degenerate, but still bounded — scan
 		// in file order with no auxiliary memory at all.
+		b := e.kern.newBatch()
 		for x := 0; x < n; x++ {
-			e.db.joinOne(rel.Object(x), st)
+			b.add(rel.Object(x), st)
 		}
+		b.flush(st)
 		return nil
 	}
 	defer e.lim.release(bytes)
@@ -746,9 +730,11 @@ func (e *probeEnv) streamProbe(rel *Relation, st *JoinStats) error {
 		pheap.Sort(h, func(a, b int32) bool {
 			return DecodeSPtr(rel.Object(int(a))).Off < DecodeSPtr(rel.Object(int(b))).Off
 		})
+		b := e.kern.newBatch()
 		for _, x := range h {
-			e.db.joinOne(rel.Object(int(x)), st)
+			b.add(rel.Object(int(x)), st)
 		}
+		b.flush(st)
 	}
 	return nil
 }
@@ -757,15 +743,16 @@ func (e *probeEnv) streamProbe(rel *Relation, st *JoinStats) error {
 // ephemeral GOMAXPROCS-sized pool with no probe-memory bound.
 func (db *DB) HybridHash(tmpDir string, k int, residentFrac float64) (JoinStats, error) {
 	return ephemeralPool(func(p *exec.Pool) (JoinStats, error) {
-		return db.hybridHash(context.Background(), p, tmpDir, k, residentFrac, newMemLimiter(0, nil, nil))
+		return db.hybridHash(context.Background(), p, tmpDir, k, residentFrac, kernelConfig{}, newMemLimiter(0, nil, nil))
 	})
 }
 
 // hybridHash: references into a resident prefix of each S partition
 // (residentFrac of its objects) join immediately during the scan
 // morsels and never touch temporary storage; the remainder goes through
-// Grace-style ordered buckets, probed under lim's memory grant.
-func (db *DB) hybridHash(ctx context.Context, p *exec.Pool, tmpDir string, k int, residentFrac float64, lim *memLimiter) (JoinStats, error) {
+// Grace-style ordered buckets (radix-partitioned like grace), probed
+// under lim's memory grant.
+func (db *DB) hybridHash(ctx context.Context, p *exec.Pool, tmpDir string, k int, residentFrac float64, kc kernelConfig, lim *memLimiter) (JoinStats, error) {
 	if k < 1 {
 		return JoinStats{}, fmt.Errorf("mstore: HybridHash needs k >= 1, got %d", k)
 	}
@@ -780,107 +767,16 @@ func (db *DB) hybridHash(ctx context.Context, p *exec.Pool, tmpDir string, k int
 	for j := 0; j < d; j++ {
 		residentUpTo[j] = int(residentFrac * float64(db.S[j].Count()))
 	}
-	isResident := func(ptr SPtr) bool {
-		return db.S[ptr.Part].IndexOf(ptr.Off) < residentUpTo[ptr.Part]
+	bj := &bucketedJoin{
+		db: db, tmpDir: tmpDir, prefix: "hh", k: k, kc: kc.withDefaults(), lim: lim,
+		bucketOf: func(ptr SPtr) int {
+			rel := db.S[ptr.Part]
+			lo := residentUpTo[ptr.Part]
+			return rankBucket(rel.IndexOf(ptr.Off)-lo, k, rel.Count()-lo)
+		},
+		resident: func(ptr SPtr) bool {
+			return db.S[ptr.Part].IndexOf(ptr.Off) < residentUpTo[ptr.Part]
+		},
 	}
-	bucketOf := func(ptr SPtr) int {
-		rel := db.S[ptr.Part]
-		lo := residentUpTo[ptr.Part]
-		return rankBucket(rel.IndexOf(ptr.Off)-lo, k, rel.Count()-lo)
-	}
-
-	// Counting pass for exact bucket sizing (morsel-parallel).
-	counts := make([][]int64, d)
-	for j := range counts {
-		counts[j] = make([]int64, k)
-	}
-	var tasks []exec.Task
-	for _, ri := range db.R {
-		tasks = rangeTasks(tasks, ri.Count(), func(_, lo, hi int) error {
-			for x := lo; x < hi; x++ {
-				if ptr := DecodeSPtr(ri.Object(x)); !isResident(ptr) {
-					atomic.AddInt64(&counts[ptr.Part][bucketOf(ptr)], 1)
-				}
-			}
-			return nil
-		})
-	}
-	if err := p.Run(ctx, tasks); err != nil {
-		return JoinStats{}, err
-	}
-
-	buckets := make([][]*Appender, d)
-	defer func() {
-		for j := range buckets {
-			for _, ap := range buckets[j] {
-				if ap != nil {
-					ap.Relation().Segment().Delete()
-				}
-			}
-		}
-	}()
-	// Lazy bucket materialization, as in grace: measured-empty buckets
-	// get no appender and no segment file.
-	for j := 0; j < d; j++ {
-		buckets[j] = make([]*Appender, k)
-		for b := 0; b < k; b++ {
-			if counts[j][b] == 0 {
-				continue
-			}
-			rel, err := db.tmpRelation(tmpDir, fmt.Sprintf("hh_%d_%d.seg", j, b), int(counts[j][b])+1)
-			if err != nil {
-				return JoinStats{}, err
-			}
-			lim.tel.TempFiles.Add(1)
-			buckets[j][b] = NewAppender(rel)
-		}
-	}
-
-	stats := newPerWorker(p)
-	// Scan: resident references join now, the rest partition.
-	tasks = tasks[:0]
-	for _, ri := range db.R {
-		tasks = rangeTasks(tasks, ri.Count(), func(w, lo, hi int) error {
-			st := &stats[w].JoinStats
-			for x := lo; x < hi; x++ {
-				obj := ri.Object(x)
-				ptr := DecodeSPtr(obj)
-				if isResident(ptr) {
-					db.joinOne(obj, st)
-					continue
-				}
-				if err := buckets[ptr.Part][bucketOf(ptr)].Append(obj); err != nil {
-					return err
-				}
-			}
-			return nil
-		})
-	}
-	if err := p.Run(ctx, tasks); err != nil {
-		return JoinStats{}, err
-	}
-
-	// Probe the overflow buckets as in Grace, under the same grant.
-	env := &probeEnv{db: db, lim: lim, tmpDir: tmpDir}
-	tasks = tasks[:0]
-	for j := 0; j < d; j++ {
-		for b := 0; b < k; b++ {
-			ap := buckets[j][b]
-			if ap == nil {
-				continue
-			}
-			ap.Seal()
-			rel := ap.Relation()
-			if rel.Count() == 0 {
-				continue
-			}
-			tasks = append(tasks, func(w int) error {
-				return env.probe(rel, &stats[w].JoinStats, 0)
-			})
-		}
-	}
-	if err := p.Run(ctx, tasks); err != nil {
-		return JoinStats{}, err
-	}
-	return stats.total(), nil
+	return bj.run(ctx, p)
 }

@@ -1,0 +1,144 @@
+package mstore
+
+import "encoding/binary"
+
+// The kernel layer holds the cache-conscious inner loops of the joins.
+// The morsel pool (internal/exec) decides *where* work runs; these
+// kernels decide *how* one morsel's objects move through the cache
+// hierarchy:
+//
+//   - joinKernel/joinBatch restructure the one-object-at-a-time pointer
+//     dereference into fixed-width batches: a gather stage issues all of
+//     a batch's S-side reads back-to-back (independent loads, so the
+//     cache misses overlap in the memory pipeline) before the join stage
+//     folds the pairs. Go has no prefetch intrinsics; the stride-ahead
+//     read loop is the software equivalent, and cmd/bench measures it
+//     instead of assuming (batch widths 1/16/64 in the kernels panel).
+//   - probeArena (kernel_table.go) replaces the per-bucket Go map with a
+//     flat open-addressing table carved from a reusable per-worker
+//     arena: zero steady-state allocations on the probe path.
+//   - radixPlan (kernel_radix.go) splits a k-way bucket fan-out into
+//     passes of at most 1<<radixBits destinations each, so every scatter
+//     pass's working set of destination pages stays cache-sized.
+//
+// Every kernel is gated on bit-identical Pairs/Signature against the
+// straight-line reference loops: the signatures fold as commutative
+// sums, so batching, table layout, and pass structure are free to
+// reorder work (TestKernelSignatureGrid asserts the whole grid).
+
+const (
+	// defaultRadixBits bounds one partitioning pass to 2^8 = 256
+	// destination buckets — with 4 KiB bucket pages that is a ~1 MiB
+	// destination working set, sized to stay inside a typical L2 and
+	// well within TLB reach. JoinRequest.RadixBits overrides.
+	defaultRadixBits = 8
+	// maxRadixBits caps the per-pass fan-out (2^16 destinations); more
+	// never helps and the counting arrays are sized by it.
+	maxRadixBits = 16
+	// defaultProbeBatch is the gather width of the batched probe
+	// kernels; measured best on the bench hosts (see BENCH_mstore.json
+	// kernels panel). JoinRequest.ProbeBatch overrides.
+	defaultProbeBatch = 64
+	// maxProbeBatch bounds the batch buffers carried on morsel stacks.
+	maxProbeBatch = 64
+)
+
+// kernelConfig carries the two kernel tuning knobs through a join.
+type kernelConfig struct {
+	radixBits  int // per-pass partitioning fan-out is 1<<radixBits
+	probeBatch int // gather width of the batched probe kernels
+}
+
+func (c kernelConfig) withDefaults() kernelConfig {
+	if c.radixBits <= 0 {
+		c.radixBits = defaultRadixBits
+	}
+	if c.radixBits > maxRadixBits {
+		c.radixBits = maxRadixBits
+	}
+	if c.probeBatch <= 0 {
+		c.probeBatch = defaultProbeBatch
+	}
+	if c.probeBatch > maxProbeBatch {
+		c.probeBatch = maxProbeBatch
+	}
+	return c
+}
+
+// joinKernel is one join's view of the mapped store for the batched
+// kernels: a full-segment byte view per S partition (the base relations
+// never grow during a join, so the views are stable), and the batch
+// width. One joinKernel is shared read-only by all of a join's morsels.
+type joinKernel struct {
+	db    *DB
+	sv    [][]byte // segment views indexed by S partition
+	batch int
+}
+
+func newJoinKernel(db *DB, kc kernelConfig) *joinKernel {
+	sv := make([][]byte, len(db.S))
+	for j, rel := range db.S {
+		sv[j] = rel.seg.data
+	}
+	return &joinKernel{db: db, sv: sv, batch: kc.probeBatch}
+}
+
+// sWord reads the identity word of the S object at ptr through the
+// cached segment view (one bounds check, no per-call header reads).
+func (k *joinKernel) sWord(p SPtr) uint64 {
+	return binary.LittleEndian.Uint64(k.sv[p.Part][p.Off:])
+}
+
+// joinBatch folds R→S pairs in fixed-width batches. add records one
+// reference; flush runs the two stages: the gather loop issues every
+// S-side read of the batch (independent loads — the misses overlap),
+// then the fold loop hashes against the already-loaded words. Callers
+// create one joinBatch per morsel (stack-sized) and must flush the tail
+// before folding the morsel's accumulator.
+type joinBatch struct {
+	k   *joinKernel
+	n   int
+	rid [maxProbeBatch]uint64
+	ptr [maxProbeBatch]SPtr
+}
+
+func (k *joinKernel) newBatch() joinBatch { return joinBatch{k: k} }
+
+// add queues one R object's pair; obj must be an R-layout record
+// (S-pointer then R id).
+func (b *joinBatch) add(obj []byte, st *JoinStats) {
+	b.ptr[b.n] = DecodeSPtr(obj)
+	b.rid[b.n] = binary.LittleEndian.Uint64(obj[ridOffset:])
+	b.n++
+	if b.n >= b.k.batch {
+		b.flush(st)
+	}
+}
+
+// flush drains the queued pairs into st.
+func (b *joinBatch) flush(st *JoinStats) {
+	n := b.n
+	if n == 0 {
+		return
+	}
+	var sw [maxProbeBatch]uint64
+	for i := 0; i < n; i++ { // gather: S-side reads back-to-back
+		sw[i] = b.k.sWord(b.ptr[i])
+	}
+	for i := 0; i < n; i++ { // fold: hash against loaded words
+		st.Signature += pairHash(b.rid[i], sw[i])
+	}
+	st.Pairs += int64(n)
+	b.n = 0
+}
+
+// joinRange batch-joins the objects [lo, hi) of an R-layout relation —
+// the kernel form of the old per-object joinOne loop.
+func (k *joinKernel) joinRange(rel *Relation, lo, hi int, st *JoinStats) {
+	view, base, size := rel.seg.data, int64(rel.data), rel.size
+	b := k.newBatch()
+	for x := lo; x < hi; x++ {
+		b.add(view[base+int64(x)*size:base+int64(x+1)*size], st)
+	}
+	b.flush(st)
+}

@@ -1,0 +1,60 @@
+package mstore
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// The go-bench counterpart of cmd/bench's kernels panel: probe a fixed
+// Grace bucket set through each kernel. Run with
+//
+//	go test -bench ProbeKernel -benchmem ./internal/mstore/
+//
+// BenchmarkProbeKernelFlat* must report 0 allocs/op — the steady state
+// the per-worker arena buys; BenchmarkProbeKernelMap is the baseline it
+// is measured against.
+
+func benchBuckets(b *testing.B) *BucketSet {
+	b.Helper()
+	db, err := CreateDB(filepath.Join(b.TempDir(), "db"), 4, 20000, 20000, 64, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	bs, err := db.BuildGraceBuckets(b.TempDir(), 37)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(bs.Close)
+	return bs
+}
+
+func benchProbeFlat(b *testing.B, batch int) {
+	bs := benchBuckets(b)
+	want := bs.ProbeFlat(batch) // warm the arena to high-water capacity
+	b.SetBytes(bs.Refs() * 8)   // gathered S words per pass
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if st := bs.ProbeFlat(batch); st != want {
+			b.Fatal("stats diverged")
+		}
+	}
+}
+
+func BenchmarkProbeKernelFlat1(b *testing.B)  { benchProbeFlat(b, 1) }
+func BenchmarkProbeKernelFlat16(b *testing.B) { benchProbeFlat(b, 16) }
+func BenchmarkProbeKernelFlat64(b *testing.B) { benchProbeFlat(b, 64) }
+
+func BenchmarkProbeKernelMap(b *testing.B) {
+	bs := benchBuckets(b)
+	want := bs.ProbeMap()
+	b.SetBytes(bs.Refs() * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if st := bs.ProbeMap(); st != want {
+			b.Fatal("stats diverged")
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package mstore
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"mmjoin/internal/exec"
+)
+
+// Multi-pass software radix partitioning for the bucketed joins.
+//
+// The single-pass scatter writes every R object into one of D·K bucket
+// appenders; once K exceeds the cache/TLB reach (a few hundred
+// destination pages), every append misses. The classical fix is to
+// partition in passes of at most 2^radixBits destinations each: the
+// first pass scatters into coarse groups of contiguous final buckets,
+// later passes refine a group at a time, so each pass's destination
+// working set stays cache-sized. The group spans are powers of the
+// per-pass fan-out, which keeps the bucket function order-preserving
+// (a group is a contiguous final-bucket range) and lets the cost model
+// mirror the plan exactly (model.Inputs.RadixBits).
+//
+// Refinement is pipelined, not barriered: one task owns one coarse
+// group end-to-end — it counts, scatters, recurses, and probes its
+// final buckets as each seals — so a group whose refs are ready probes
+// while other groups are still partitioning.
+
+// radixPlan splits a k-way partitioning fan-out into the fewest passes
+// of at most 1<<bits destinations each. It returns the pass count and
+// the top-pass group span — the number of final buckets one first-pass
+// group covers ((2^bits)^(passes−1); span 1 means the first pass
+// scatters straight into final buckets, the single-pass common case).
+func radixPlan(k, bits int) (passes int, span int64) {
+	maxFan := int64(1) << bits
+	passes, span = 1, 1
+	for reach := maxFan; reach < int64(k) && span < 1<<40; reach *= maxFan {
+		passes++
+		span *= maxFan
+	}
+	return passes, span
+}
+
+// bucketedJoin is the shared driver of the Grace and hybrid-hash joins:
+// a counting pass over R, a radix-partitioned scatter into
+// order-preserving buckets per S partition, and a grant-metered probe
+// of every non-empty bucket. The two algorithms differ only in the
+// bucket function and in which references bypass the buckets entirely
+// (hybrid's resident prefix joins during the scan).
+type bucketedJoin struct {
+	db     *DB
+	tmpDir string
+	prefix string // temp-file prefix: "gr" (Grace) or "hh" (hybrid)
+	k      int
+	kc     kernelConfig
+	lim    *memLimiter
+
+	bucketOf func(SPtr) int
+	resident func(SPtr) bool // nil: nothing is resident (Grace)
+
+	kern   *joinKernel
+	env    *probeEnv
+	counts [][]int64 // final-bucket occupancy: [S partition][bucket]
+	seq    atomic.Int64
+}
+
+func (bj *bucketedJoin) run(ctx context.Context, p *exec.Pool) (JoinStats, error) {
+	db, d, k := bj.db, bj.db.D, bj.k
+	bj.kern = newJoinKernel(db, bj.kc)
+	bj.env = newProbeEnv(db, bj.kern, bj.lim, bj.tmpDir, p.Workers())
+
+	// Counting pass (morsel-parallel): size every bucket file exactly.
+	bj.counts = make([][]int64, d)
+	for j := range bj.counts {
+		bj.counts[j] = make([]int64, k)
+	}
+	var tasks []exec.Task
+	for _, ri := range db.R {
+		tasks = rangeTasks(tasks, ri.Count(), func(_, lo, hi int) error {
+			for x := lo; x < hi; x++ {
+				ptr := DecodeSPtr(ri.Object(x))
+				if bj.resident != nil && bj.resident(ptr) {
+					continue
+				}
+				atomic.AddInt64(&bj.counts[ptr.Part][bj.bucketOf(ptr)], 1)
+			}
+			return nil
+		})
+	}
+	if err := p.Run(ctx, tasks); err != nil {
+		return JoinStats{}, err
+	}
+
+	passes, span := radixPlan(k, bj.kc.radixBits)
+	groups := int((int64(k) + span - 1) / span)
+	bj.lim.tel.RadixPasses.Store(int64(passes))
+
+	// First-pass destinations: the final buckets themselves when span is
+	// 1, else one coarse appender per contiguous group of span buckets.
+	// Either way they materialize lazily — a measured-empty destination
+	// gets no appender and no segment file. (Eager D·K creation meant 32k
+	// mmap'd files per join at D=64, K=512 — fd and VMA exhaustion.)
+	top := make([][]*Appender, d)
+	defer func() {
+		for j := range top {
+			for _, ap := range top[j] {
+				if ap != nil {
+					ap.Relation().Segment().Delete()
+				}
+			}
+		}
+	}()
+	for j := 0; j < d; j++ {
+		top[j] = make([]*Appender, groups)
+		for c := 0; c < groups; c++ {
+			cnt := int64(0)
+			for b := c * int(span); b < min((c+1)*int(span), k); b++ {
+				cnt += bj.counts[j][b]
+			}
+			if cnt == 0 {
+				continue
+			}
+			// The "c" infix keeps first-pass names disjoint from the
+			// seq-numbered refine temporaries.
+			name := fmt.Sprintf("rx_%s_%d_c%d.seg", bj.prefix, j, c)
+			if span == 1 {
+				name = fmt.Sprintf("%s_%d_%d.seg", bj.prefix, j, c)
+			}
+			rel, err := db.tmpRelation(bj.tmpDir, name, int(cnt)+1)
+			if err != nil {
+				return JoinStats{}, err
+			}
+			bj.lim.tel.TempFiles.Add(1)
+			top[j][c] = NewAppender(rel)
+		}
+	}
+
+	stats := newPerWorker(p)
+	// Scan pass: resident references join immediately through the
+	// batched kernel and never touch temporary storage; the rest scatter
+	// into at most D·2^radixBits concurrently live destinations.
+	tasks = tasks[:0]
+	for _, ri := range db.R {
+		tasks = rangeTasks(tasks, ri.Count(), func(w, lo, hi int) error {
+			st := &stats[w].JoinStats
+			b := bj.kern.newBatch()
+			for x := lo; x < hi; x++ {
+				obj := ri.Object(x)
+				ptr := DecodeSPtr(obj)
+				if bj.resident != nil && bj.resident(ptr) {
+					b.add(obj, st)
+					continue
+				}
+				c := int64(bj.bucketOf(ptr)) / span
+				if err := top[ptr.Part][c].Append(obj); err != nil {
+					return err
+				}
+			}
+			b.flush(st)
+			return nil
+		})
+	}
+	if err := p.Run(ctx, tasks); err != nil {
+		return JoinStats{}, err
+	}
+
+	// Probe stage: one task per non-empty first-pass group. Single-pass
+	// groups are final buckets and probe directly; multi-pass groups
+	// refine and probe inline, pipelined within the task.
+	tasks = tasks[:0]
+	for j := 0; j < d; j++ {
+		for c := 0; c < groups; c++ {
+			ap := top[j][c]
+			if ap == nil {
+				continue
+			}
+			ap.Seal()
+			rel := ap.Relation()
+			if rel.Count() == 0 {
+				continue
+			}
+			j, c := j, c
+			if span == 1 {
+				tasks = append(tasks, func(w int) error {
+					return bj.env.probe(w, rel, &stats[w].JoinStats, 0)
+				})
+				continue
+			}
+			tasks = append(tasks, func(w int) error {
+				return bj.refine(w, rel, j, c*int(span), span, &stats[w].JoinStats)
+			})
+		}
+	}
+	if err := p.Run(ctx, tasks); err != nil {
+		return JoinStats{}, err
+	}
+	return stats.total(), nil
+}
+
+// refine runs the remaining radix passes of one coarse group: scatter
+// src into at most 2^radixBits sub-groups of span sub, then recurse —
+// or, when sub is 1, probe each final bucket as it seals. Group sizes
+// come from the global counting pass (this branch holds every reference
+// whose final bucket lies in [b0, b0+span)), so no re-count scan is
+// needed, and the branch runs in one task: plain appends, no atomics.
+func (bj *bucketedJoin) refine(w int, src *Relation, j, b0 int, span int64, st *JoinStats) error {
+	sub := span >> uint(bj.kc.radixBits)
+	if sub < 1 {
+		sub = 1
+	}
+	bLim := min(b0+int(span), bj.k)
+	groups := int((int64(bLim-b0) + sub - 1) / sub)
+	rels := make([]*Relation, groups)
+	defer func() {
+		for _, rel := range rels {
+			if rel != nil {
+				rel.Segment().Delete()
+			}
+		}
+	}()
+	for c := 0; c < groups; c++ {
+		cb0 := b0 + c*int(sub)
+		cnt := int64(0)
+		for b := cb0; b < min(cb0+int(sub), bLim); b++ {
+			cnt += bj.counts[j][b]
+		}
+		if cnt == 0 {
+			continue
+		}
+		name := fmt.Sprintf("rx_%s_%d_%d.seg", bj.prefix, j, bj.seq.Add(1))
+		if sub == 1 {
+			name = fmt.Sprintf("%s_%d_%d.seg", bj.prefix, j, cb0)
+		}
+		rel, err := bj.db.tmpRelation(bj.tmpDir, name, int(cnt)+1)
+		if err != nil {
+			return err
+		}
+		bj.lim.tel.TempFiles.Add(1)
+		rels[c] = rel
+	}
+	view, base, size := src.seg.data, int64(src.data), src.size
+	n := src.Count()
+	for x := 0; x < n; x++ {
+		obj := view[base+int64(x)*size : base+int64(x+1)*size]
+		c := (bj.bucketOf(DecodeSPtr(obj)) - b0) / int(sub)
+		if _, err := rels[c].Append(obj); err != nil {
+			return err
+		}
+	}
+	for c := 0; c < groups; c++ {
+		rel := rels[c]
+		if rel == nil {
+			continue
+		}
+		var err error
+		if sub == 1 {
+			err = bj.env.probe(w, rel, st, 0)
+		} else {
+			err = bj.refine(w, rel, j, b0+c*int(sub), sub, st)
+		}
+		if err != nil {
+			return err
+		}
+		rel.Segment().Delete()
+		rels[c] = nil
+	}
+	return nil
+}

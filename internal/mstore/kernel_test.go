@@ -1,0 +1,272 @@
+package mstore
+
+import (
+	"runtime"
+	"testing"
+
+	"mmjoin/internal/exec"
+	"mmjoin/internal/join"
+)
+
+// TestKernelSignatureGrid is the property grid gating the kernel
+// rewrite: every algorithm × radix bits {4, 8, 12} × batch width
+// {1, 16, 64} × worker count {1, 2, GOMAXPROCS} × corpus {uniform,
+// Zipf hot-key} must produce Pairs/Signature bit-identical to the
+// store's independently computed ground truth. K=40 covers both
+// single-pass partitioning (8 and 12 bits) and two-pass (4 bits);
+// deeper pass counts are TestKernelMultiPassDeep's job.
+func TestKernelSignatureGrid(t *testing.T) {
+	algs := []join.Algorithm{join.NestedLoops, join.SortMerge, join.Grace, join.HybridHash}
+	corpora := map[string]func(*testing.T, int) *DB{
+		"uniform": makeDB,
+		"zipf":    zipfDB,
+	}
+	workers := []int{1, 2, runtime.GOMAXPROCS(0)}
+	for name, mk := range corpora {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			db := mk(t, 6000)
+			want := db.ExpectedStats()
+			for _, bits := range []int{4, 8, 12} {
+				for _, batch := range []int{1, 16, 64} {
+					for _, w := range workers {
+						for _, alg := range algs {
+							// K and radix bits only reach the bucketed
+							// joins; run the other two once per
+							// batch/worker point.
+							if (alg == join.NestedLoops || alg == join.SortMerge) && bits != 4 {
+								continue
+							}
+							got, err := db.Run(JoinRequest{
+								Algorithm:  alg,
+								K:          40,
+								RadixBits:  bits,
+								ProbeBatch: batch,
+								Workers:    w,
+							})
+							if err != nil {
+								t.Fatalf("%v bits=%d batch=%d w=%d: %v", alg, bits, batch, w, err)
+							}
+							if got != want {
+								t.Fatalf("%v bits=%d batch=%d w=%d: got %+v want %+v",
+									alg, bits, batch, w, got, want)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestKernelMultiPassDeep drives the partitioning through three radix
+// passes (K=300 at 4 bits; 2 passes at 8) on both corpora — the regime
+// where intermediate scatter files are created, refined, and deleted
+// inside the probe tasks.
+func TestKernelMultiPassDeep(t *testing.T) {
+	for _, mk := range []func(*testing.T, int) *DB{makeDB, zipfDB} {
+		db := mk(t, 4000)
+		want := db.ExpectedStats()
+		for _, alg := range []join.Algorithm{join.Grace, join.HybridHash} {
+			for _, bits := range []int{4, 8} {
+				for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+					got, err := db.Run(JoinRequest{
+						Algorithm: alg,
+						K:         300,
+						RadixBits: bits,
+						Workers:   w,
+					})
+					if err != nil {
+						t.Fatalf("%v bits=%d w=%d: %v", alg, bits, w, err)
+					}
+					if got != want {
+						t.Fatalf("%v bits=%d w=%d: got %+v want %+v", alg, bits, w, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKernelGridUnderGrant re-runs a slice of the grid with a grant
+// small enough to force restaging and hot-key streaming, so the batched
+// kernels are also exercised on the spill paths.
+func TestKernelGridUnderGrant(t *testing.T) {
+	db := zipfDB(t, 6000)
+	want := db.ExpectedStats()
+	for _, alg := range []join.Algorithm{join.Grace, join.HybridHash} {
+		for _, bits := range []int{4, 8} {
+			for _, batch := range []int{1, 64} {
+				var tel JoinTelemetry
+				got, err := db.Run(JoinRequest{
+					Algorithm:  alg,
+					K:          40,
+					RadixBits:  bits,
+					ProbeBatch: batch,
+					MemGrant:   32 << 10,
+					Telemetry:  &tel,
+				})
+				if err != nil {
+					t.Fatalf("%v bits=%d batch=%d: %v", alg, bits, batch, err)
+				}
+				if got != want {
+					t.Fatalf("%v bits=%d batch=%d: got %+v want %+v", alg, bits, batch, got, want)
+				}
+				if peak, grant := tel.PeakTableBytes.Load(), int64(32<<10); peak > grant {
+					t.Fatalf("%v bits=%d batch=%d: peak %d exceeds grant %d", alg, bits, batch, peak, grant)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelFlatMatchesMap is the differential gate between the two
+// probe kernels on identical bucket files: flat table at every batch
+// width vs the legacy Go map vs ground truth.
+func TestKernelFlatMatchesMap(t *testing.T) {
+	for _, mk := range []func(*testing.T, int) *DB{makeDB, zipfDB} {
+		db := mk(t, 5000)
+		want := db.ExpectedStats()
+		bs, err := db.BuildGraceBuckets(t.TempDir(), 37)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := bs.ProbeMap(); got != want {
+			t.Fatalf("ProbeMap: got %+v want %+v", got, want)
+		}
+		for _, batch := range []int{1, 16, 64} {
+			if got := bs.ProbeFlat(batch); got != want {
+				t.Fatalf("ProbeFlat(%d): got %+v want %+v", batch, got, want)
+			}
+		}
+		bs.Close()
+	}
+}
+
+// TestKernelProbeFlatZeroAllocs: after the first pass has grown the
+// arena to its high-water capacity, the flat probe path allocates
+// nothing — the steady state the per-bucket Go map could never reach.
+func TestKernelProbeFlatZeroAllocs(t *testing.T) {
+	db := makeDB(t, 5000)
+	bs, err := db.BuildGraceBuckets(t.TempDir(), 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bs.Close()
+	bs.ProbeFlat(0) // warm the arena
+	if allocs := testing.AllocsPerRun(5, func() { bs.ProbeFlat(0) }); allocs != 0 {
+		t.Fatalf("steady-state ProbeFlat allocates %.1f times per pass", allocs)
+	}
+}
+
+// TestKernelRadixPlan pins the pass structure the executor and the cost
+// model must agree on.
+func TestKernelRadixPlan(t *testing.T) {
+	cases := []struct {
+		k, bits int
+		passes  int
+		span    int64
+	}{
+		{1, 8, 1, 1},
+		{256, 8, 1, 1},
+		{257, 8, 2, 256},
+		{65536, 8, 2, 256},
+		{65537, 8, 3, 65536},
+		{16, 4, 1, 1},
+		{17, 4, 2, 16},
+		{300, 4, 3, 256},
+		{300, 12, 1, 1},
+	}
+	for _, c := range cases {
+		passes, span := radixPlan(c.k, c.bits)
+		if passes != c.passes || span != c.span {
+			t.Errorf("radixPlan(%d, %d) = (%d, %d), want (%d, %d)",
+				c.k, c.bits, passes, span, c.passes, c.span)
+		}
+	}
+}
+
+// TestKernelTableSlots pins the load-factor geometry tableBytesFor and
+// the grant accounting are built on.
+func TestKernelTableSlots(t *testing.T) {
+	cases := []struct {
+		refs  int
+		slots int64
+	}{
+		{0, 8}, {1, 8}, {6, 8}, {7, 16}, {12, 16}, {13, 32},
+		{3072, 4096}, {3073, 8192}, {4000, 8192},
+	}
+	for _, c := range cases {
+		if got := tableSlots(c.refs); got != c.slots {
+			t.Errorf("tableSlots(%d) = %d, want %d", c.refs, got, c.slots)
+		}
+		if bytes := tableBytesFor(c.refs); bytes < int64(c.refs)*16 {
+			t.Errorf("tableBytesFor(%d) = %d below the per-ref floor", c.refs, bytes)
+		}
+	}
+}
+
+// TestKernelRangeTasksNoEmptyMorsels pins the rangeTasks contract: no
+// tasks for empty inputs, exactly ⌈n/morselObjs⌉ otherwise, every range
+// non-empty and the union covering [0, n) exactly once.
+func TestKernelRangeTasksNoEmptyMorsels(t *testing.T) {
+	for _, n := range []int{-5, 0, 1, morselObjs - 1, morselObjs, morselObjs + 1, 3 * morselObjs} {
+		var covered int
+		tasks := rangeTasks(nil, n, func(_, lo, hi int) error {
+			if hi <= lo {
+				t.Fatalf("n=%d: empty morsel [%d, %d)", n, lo, hi)
+			}
+			covered += hi - lo
+			return nil
+		})
+		if want := morselCount(n); len(tasks) != want {
+			t.Fatalf("n=%d: %d tasks, want %d", n, len(tasks), want)
+		}
+		for _, task := range tasks {
+			if err := task(0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if want := max(n, 0); covered != want {
+			t.Fatalf("n=%d: covered %d objects", n, covered)
+		}
+	}
+}
+
+// TestKernelSharedPoolGrid runs the grid's extremes on one shared pool
+// to confirm the pipelined sort-merge job and the radix refine tasks
+// coexist with other joins on the same workers.
+func TestKernelSharedPoolGrid(t *testing.T) {
+	db := makeDB(t, 6000)
+	want := db.ExpectedStats()
+	p := exec.NewPool(4)
+	defer p.Close()
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		alg := []join.Algorithm{join.SortMerge, join.Grace}[i%2]
+		go func() {
+			got, err := db.Run(JoinRequest{
+				Algorithm: alg,
+				K:         300,
+				RadixBits: 4,
+				TmpDir:    t.TempDir(),
+				Pool:      p,
+			})
+			if err == nil && got != want {
+				err = errTestMismatch
+			}
+			done <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errTestMismatch = &mismatchError{}
+
+type mismatchError struct{}
+
+func (*mismatchError) Error() string { return "join stats mismatch" }

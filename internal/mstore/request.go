@@ -67,6 +67,17 @@ type JoinRequest struct {
 	// to restaging; everything obtained is given back when Run returns.
 	Negotiator GrantNegotiator
 
+	// RadixBits bounds one partitioning pass of the bucketed joins to
+	// 2^RadixBits destination buckets; a K beyond that partitions in
+	// multiple cache-sized passes. 0 selects the default (8); values
+	// above 16 are clamped.
+	RadixBits int
+
+	// ProbeBatch is the gather width of the batched probe kernels: how
+	// many S-side reads one batch issues ahead of the join stage. 0
+	// selects the default (64, also the maximum).
+	ProbeBatch int
+
 	// TmpDir holds the temporary partition/bucket relations; "" creates
 	// a fresh per-call directory under the db dir (removed on return).
 	// An explicit TmpDir must be unique per concurrent Run call: bucket
@@ -106,6 +117,12 @@ func (req *JoinRequest) withDefaults(db *DB) error {
 	}
 	if req.MRproc < 0 {
 		return fmt.Errorf("mstore: negative memory grant %d", req.MRproc)
+	}
+	if req.RadixBits < 0 {
+		return fmt.Errorf("mstore: negative radix bits %d", req.RadixBits)
+	}
+	if req.ProbeBatch < 0 {
+		return fmt.Errorf("mstore: negative probe batch %d", req.ProbeBatch)
 	}
 	if req.Fuzz == 0 {
 		req.Fuzz = 1.2
@@ -237,19 +254,20 @@ func (db *DB) Run(req JoinRequest) (JoinStats, error) {
 		p = exec.NewPool(req.Workers)
 		defer p.Close()
 	}
+	kc := kernelConfig{radixBits: req.RadixBits, probeBatch: req.ProbeBatch}
 	switch req.Algorithm {
 	case join.NestedLoops:
-		return db.nestedLoops(ctx, p, req.TmpDir)
+		return db.nestedLoops(ctx, p, req.TmpDir, kc)
 	case join.SortMerge:
-		return db.sortMerge(ctx, p, req.TmpDir)
+		return db.sortMerge(ctx, p, req.TmpDir, kc)
 	case join.Grace:
 		lim := newMemLimiter(req.grantBudget(db), req.Negotiator, req.Telemetry)
 		defer lim.close()
-		return db.grace(ctx, p, req.TmpDir, req.K, lim)
+		return db.grace(ctx, p, req.TmpDir, req.K, kc, lim)
 	default: // join.HybridHash, by withDefaults
 		lim := newMemLimiter(req.grantBudget(db), req.Negotiator, req.Telemetry)
 		defer lim.close()
-		return db.hybridHash(ctx, p, req.TmpDir, req.K, req.ResidentFrac, lim)
+		return db.hybridHash(ctx, p, req.TmpDir, req.K, req.ResidentFrac, kc, lim)
 	}
 }
 

@@ -47,8 +47,9 @@ func zipfDB(t *testing.T, nr int) *DB {
 // hybrid-hash complete with bit-identical Pairs/Signature vs the
 // unbounded baseline, while the measured peak of counted probe-table
 // bytes never exceeds the grant. The hot bucket's table alone
-// (4000 refs · 48 B = 187.5 KiB) cannot fit the 32 KiB grant, so the
-// join must restage it and ultimately stream the hot key.
+// (tableBytesFor(4000) ≈ 158 KiB: 8192 slots · 12 B + 4000 refs · 16 B)
+// cannot fit the 32 KiB grant, so the join must restage it and
+// ultimately stream the hot key.
 func TestSkewGrantBoundedGraceHybrid(t *testing.T) {
 	db := zipfDB(t, 8000)
 	want := db.ExpectedStats()
