@@ -142,6 +142,9 @@ func main() {
 	svcSeed := flag.Int64("service-seed", 42, "loadgen seed for the service SLO panel")
 	svcOut := flag.String("service-out", "BENCH_service.json", "output path for the service SLO baseline")
 	svcOnly := flag.Bool("service-only", false, "run only the service SLO panel")
+	shOnly := flag.Bool("shard-only", false, "run only the scatter-gather shard panel (merges into -mstore-out)")
+	shObjects := flag.Int("shard-objects", 120000, "objects per relation for the shard panel")
+	shCount := flag.Int("shard-count", 3, "shard count for the shard panel")
 	flag.Parse()
 	if *parallel < 1 {
 		fmt.Fprintf(os.Stderr, "bench: -parallel must be >= 1, got %d\n", *parallel)
@@ -172,6 +175,13 @@ func main() {
 	}
 	if *svcOnly {
 		if err := runServicePanel(*svcObjects, *svcD, *svcDur, *svcSeed, *svcOut); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *shOnly {
+		if err := runShardPanel(*shObjects, *msD, *shCount, *msRuns, *msOut); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}

@@ -59,6 +59,9 @@ type mstoreReport struct {
 	// allocs-per-pair, best-effort cache counters) and the radix
 	// partitioning passes — the regression surface the CI smoke gates on.
 	Kernels *kernelsPanel `json:"kernels,omitempty"`
+	// Shard measures the scatter-gather router against the single store
+	// it was split from (see cmd/bench/shard.go).
+	Shard *shardPanel `json:"shard,omitempty"`
 }
 
 // perfCounts is one best-effort hardware-counter measurement. Source

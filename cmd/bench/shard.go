@@ -1,0 +1,220 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"mmjoin/internal/join"
+	"mmjoin/internal/machine"
+	"mmjoin/internal/model"
+	"mmjoin/internal/mstore"
+	"mmjoin/internal/planner"
+	"mmjoin/internal/relation"
+	"mmjoin/internal/shard"
+)
+
+// The shard panel measures the scatter-gather serving tier against the
+// single mapped store it was split from: the same logical relation
+// joined once through one DB and once through an N-shard router, per
+// algorithm plus auto (per-shard planning). Alongside the speedup it
+// records the merge overhead — the wall-clock the router spends beyond
+// its slowest shard (fan-out, fold, and scheduling) — and verifies the
+// merged JoinStats are bit-identical to the single-store run.
+
+// shardSlice is one shard's contribution at the best sharded run.
+type shardSlice struct {
+	Shard     string `json:"shard"`
+	Algorithm string `json:"algorithm"`
+	Pairs     int64  `json:"pairs"`
+	ElapsedNs int64  `json:"elapsed_ns"`
+}
+
+type shardRunStat struct {
+	Algorithm     string `json:"algorithm"`
+	SingleBestNs  int64  `json:"single_best_ns"`
+	ShardedBestNs int64  `json:"sharded_best_ns"`
+	// MaxShardNs is the slowest shard at the best sharded run;
+	// MergeOverheadNs is sharded_best_ns minus it — what scatter,
+	// fold, and goroutine scheduling cost beyond the critical shard.
+	MaxShardNs      int64 `json:"max_shard_ns"`
+	MergeOverheadNs int64 `json:"merge_overhead_ns"`
+	// Speedup is single_best_ns over sharded_best_ns (>1: the sharded
+	// tier wins; bounded by host CPUs — see the panel note).
+	Speedup        float64      `json:"speedup_single_vs_sharded"`
+	SignatureMatch bool         `json:"signature_match"`
+	PerShard       []shardSlice `json:"per_shard"`
+}
+
+type shardPanel struct {
+	Shards          int            `json:"shards"`
+	Objects         int            `json:"objects"`
+	D               int            `json:"d"`
+	WorkersPerShard int            `json:"workers_per_shard"`
+	Note            string         `json:"note"`
+	Runs            []shardRunStat `json:"runs"`
+}
+
+// runShardPanel builds a source database, splits it, and times both
+// sides. The result merges into the existing report at out (other
+// panels are preserved).
+func runShardPanel(objects, d, shards, runs int, out string) error {
+	dir, err := os.MkdirTemp("", "mmjoin-bench-shard")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	srcDir := filepath.Join(dir, "src")
+	src, err := mstore.CreateDB(srcDir, d, objects, objects, 64, 42)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	want := src.ExpectedStats()
+
+	outs := make([]string, shards)
+	for k := range outs {
+		outs[k] = filepath.Join(dir, fmt.Sprintf("shard-%d", k))
+	}
+	m, err := shard.Split(srcDir, d, outs)
+	if err != nil {
+		return err
+	}
+	mcfg := machine.DefaultConfig()
+	mcfg.D = d
+	pl := planner.New(model.Calibrate(mcfg, 60, 1), nil)
+	router, err := shard.Open(m, shard.Config{
+		PlanFunc: func(id string, w *relation.Workload, req mstore.JoinRequest) (join.Algorithm, error) {
+			choice, err := pl.ChooseFor(join.Request{
+				Config: mcfg,
+				Params: join.Params{Workload: w, MRproc: req.MRproc, K: req.K},
+			})
+			if err != nil {
+				return 0, err
+			}
+			return choice.Best.Algorithm, nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer router.Close()
+
+	const mrproc = 1 << 20
+	panel := &shardPanel{
+		Shards: shards, Objects: objects, D: d,
+		WorkersPerShard: runtime.GOMAXPROCS(0),
+		Note: fmt.Sprintf("wall-clock best of %d; a scatter-gather join fans out over "+
+			"%d shard pools on one host (num_cpu=%d), so on a single-CPU host the shards "+
+			"time-slice one core and the speedup is <= 1 by construction — the regression "+
+			"surface here is merge_overhead_ns and the signature match, not the speedup",
+			runs, shards, runtime.NumCPU()),
+	}
+
+	algs := []join.Algorithm{join.NestedLoops, join.SortMerge, join.Grace, join.HybridHash, join.Auto}
+	for _, alg := range algs {
+		st := shardRunStat{Algorithm: alg.String(), SignatureMatch: true}
+
+		// Single-store side: auto is planned per run through the same
+		// planner the router's shards use.
+		singleAlg := alg
+		if alg == join.Auto {
+			w, err := src.Workload()
+			if err != nil {
+				return err
+			}
+			choice, err := pl.ChooseFor(join.Request{
+				Config: mcfg,
+				Params: join.Params{Workload: w, MRproc: mrproc},
+			})
+			if err != nil {
+				return err
+			}
+			singleAlg = choice.Best.Algorithm
+		}
+		st.SingleBestNs = int64(1<<63 - 1)
+		for run := 0; run < runs; run++ {
+			tmp := filepath.Join(dir, fmt.Sprintf("single-%s-%d", alg, run))
+			start := time.Now()
+			got, err := src.Run(mstore.JoinRequest{Algorithm: singleAlg, MRproc: mrproc, TmpDir: tmp})
+			el := time.Since(start).Nanoseconds()
+			if err != nil {
+				return fmt.Errorf("shard panel single %v: %w", alg, err)
+			}
+			if got != want {
+				return fmt.Errorf("shard panel single %v: stats %+v, want %+v", alg, got, want)
+			}
+			st.SingleBestNs = min(st.SingleBestNs, el)
+		}
+
+		st.ShardedBestNs = int64(1<<63 - 1)
+		for run := 0; run < runs; run++ {
+			tmp := filepath.Join(dir, fmt.Sprintf("sharded-%s-%d", alg, run))
+			start := time.Now()
+			got, details, err := router.RunShards(mstore.JoinRequest{
+				Algorithm: alg, MRproc: mrproc, TmpDir: tmp,
+			})
+			el := time.Since(start).Nanoseconds()
+			if err != nil {
+				return fmt.Errorf("shard panel sharded %v: %w", alg, err)
+			}
+			if got != want {
+				st.SignatureMatch = false
+				return fmt.Errorf("shard panel sharded %v: merged %+v, want %+v (bit-identity violated)",
+					alg, got, want)
+			}
+			if el < st.ShardedBestNs {
+				st.ShardedBestNs = el
+				st.MaxShardNs = 0
+				st.PerShard = st.PerShard[:0]
+				for _, det := range details {
+					st.MaxShardNs = max(st.MaxShardNs, det.ElapsedNs)
+					st.PerShard = append(st.PerShard, shardSlice{
+						Shard: det.Shard, Algorithm: det.Algorithm,
+						Pairs: det.Pairs, ElapsedNs: det.ElapsedNs,
+					})
+				}
+			}
+		}
+		st.MergeOverheadNs = st.ShardedBestNs - st.MaxShardNs
+		st.Speedup = round2(float64(st.SingleBestNs) / float64(st.ShardedBestNs))
+		panel.Runs = append(panel.Runs, st)
+		fmt.Printf("shard %-12s: single %.0fms  sharded %.0fms (merge %.2fms)  speedup %.2fx\n",
+			alg, time.Duration(st.SingleBestNs).Seconds()*1000,
+			time.Duration(st.ShardedBestNs).Seconds()*1000,
+			time.Duration(st.MergeOverheadNs).Seconds()*1000, st.Speedup)
+	}
+
+	return mergeShardPanel(out, panel)
+}
+
+// mergeShardPanel read-modify-writes the shard panel into the mstore
+// report, preserving every other panel in the file. A missing file gets
+// a minimal report holding only the shard panel.
+func mergeShardPanel(path string, panel *shardPanel) error {
+	r := mstoreReport{Schema: "mmjoin-bench-mstore/v1", Host: currentHost()}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return fmt.Errorf("parsing existing report %s: %w", path, err)
+		}
+	}
+	r.Shard = panel
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&r); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("shard panel merged into %s\n", path)
+	return nil
+}

@@ -8,7 +8,13 @@
 //	mmdb create -dir DIR [-objects N] [-d D] [-objsize B] [-seed N]
 //	mmdb join   -dir DIR [-alg all|auto|nested-loops|sort-merge|grace|hybrid-hash] [-k K] [-mrproc B] [-workers N] [-radix-bits N] [-probe-batch N]
 //	mmdb bench  -dir DIR [-runs N] [-workers N]
-//	mmdb serve  -dir DIR [-addr :PORT] [-membudget B] [-maxqueue N] [-workers N]
+//	mmdb split  -src DIR -out DIR [-shards N] [-d D]
+//	mmdb serve  {-dir DIR | -shard-map FILE} [-addr :PORT] [-membudget B] [-maxqueue N] [-workers N]
+//
+// split rewrites one database into N shard databases (R partitioned
+// round-robin, S replicated) plus a shard-map file; serve -shard-map
+// mounts them behind the scatter-gather router instead of a single
+// mapped store.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -28,7 +35,9 @@ import (
 	"mmjoin/internal/model"
 	"mmjoin/internal/mstore"
 	"mmjoin/internal/planner"
+	"mmjoin/internal/relation"
 	"mmjoin/internal/service"
+	"mmjoin/internal/shard"
 )
 
 func main() {
@@ -44,6 +53,8 @@ func main() {
 		cmdBench(os.Args[2:])
 	case "verify":
 		cmdVerify(os.Args[2:])
+	case "split":
+		cmdSplit(os.Args[2:])
 	case "serve":
 		cmdServe(os.Args[2:])
 	default:
@@ -52,32 +63,75 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mmdb create|join|bench|verify|serve [flags]")
+	fmt.Fprintln(os.Stderr, "usage: mmdb create|join|bench|verify|split|serve [flags]")
 	os.Exit(2)
+}
+
+func cmdSplit(args []string) {
+	fs := flag.NewFlagSet("split", flag.ExitOnError)
+	src := fs.String("src", "", "source database directory")
+	out := fs.String("out", "", "output directory (shard-K subdirs and shards.json are created here)")
+	shards := fs.Int("shards", 3, "shard count")
+	d := fs.Int("d", 4, "partitions the source was created with")
+	fs.Parse(args)
+	if *src == "" || *out == "" {
+		fatal(fmt.Errorf("split: -src and -out required"))
+	}
+	if *shards < 1 {
+		fatal(fmt.Errorf("split: -shards must be >= 1"))
+	}
+	start := time.Now()
+	dirs := make([]string, *shards)
+	for k := range dirs {
+		dirs[k] = filepath.Join(*out, fmt.Sprintf("shard-%d", k))
+	}
+	m, err := shard.Split(*src, *d, dirs)
+	if err != nil {
+		fatal(err)
+	}
+	mapPath := filepath.Join(*out, "shards.json")
+	if err := shard.WriteMap(mapPath, m); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("split %s into %d shards under %s (map: %s) in %v\n",
+		*src, *shards, *out, mapPath, time.Since(start).Round(time.Millisecond))
 }
 
 func cmdServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	dir := fs.String("dir", "", "database directory")
-	d := fs.Int("d", 4, "partitions the database was created with")
+	dir := fs.String("dir", "", "database directory (single-store mode)")
+	shardMap := fs.String("shard-map", "", "shard-map file (sharded scatter-gather mode; overrides -dir)")
+	d := fs.Int("d", 4, "partitions the database was created with (single-store mode)")
 	addr := fs.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
 	budget := fs.Int64("membudget", 0, "total join-memory budget, bytes (0: default)")
 	grant := fs.Int64("grant", 0, "default per-request memory grant, bytes (0: default)")
 	maxQueue := fs.Int("maxqueue", 0, "admission queue bound (0: default, <0: no queue)")
 	timeout := fs.Duration("timeout", 0, "per-request timeout (0: default)")
 	calOps := fs.Int("calops", 0, "planner calibration effort (0: default)")
-	workers := fs.Int("workers", 0, "shared morsel-pool size for all joins (0: GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "morsel-pool size: shared pool (single) or per shard (sharded) (0: GOMAXPROCS)")
 	drainWait := fs.Duration("drainwait", 30*time.Second, "graceful drain limit on SIGTERM")
 	fs.Parse(args)
-	if *dir == "" {
-		fatal(fmt.Errorf("serve: -dir required"))
+	if *dir == "" && *shardMap == "" {
+		fatal(fmt.Errorf("serve: -dir or -shard-map required"))
 	}
 
-	s, err := service.New(service.Config{
-		Dir: *dir, D: *d,
+	cfg := service.Config{
 		MemBudget: *budget, DefaultGrant: *grant, MaxQueue: *maxQueue,
 		RequestTimeout: *timeout, CalibrationOps: *calOps, Workers: *workers,
-	})
+	}
+	serving := *dir
+	if *shardMap != "" {
+		router, err := openRouter(*shardMap, *workers, *calOps)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Store = router
+		serving = *shardMap
+	} else {
+		cfg.Dir = *dir
+		cfg.D = *d
+	}
+	s, err := service.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -88,8 +142,8 @@ func cmdServe(args []string) {
 		fatal(err)
 	}
 	srv := &http.Server{Handler: s.Handler()}
-	fmt.Printf("mmdb: serving %s on http://%s (POST /join, GET /lookup /stats /healthz)\n",
-		*dir, ln.Addr())
+	fmt.Printf("mmdb: serving %s on http://%s (POST /v1/join, GET /v1/lookup /v1/stats /v1/healthz /v1/shards)\n",
+		serving, ln.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
@@ -112,6 +166,38 @@ func cmdServe(args []string) {
 		fmt.Fprintln(os.Stderr, "mmdb:", err)
 	}
 	fmt.Println("mmdb: drained, bye")
+}
+
+// openRouter mounts a shard map behind the scatter-gather router, wiring
+// per-shard auto planning through the calibrated analytical model: each
+// shard's PlanFunc call costs that shard's own measured workload, so a
+// skewed shard may pick a different algorithm than its peers.
+func openRouter(mapPath string, workers, calOps int) (*shard.Router, error) {
+	m, err := shard.LoadMap(mapPath)
+	if err != nil {
+		return nil, err
+	}
+	mcfg := machine.DefaultConfig()
+	mcfg.D = m.Shards[0].D
+	if calOps <= 0 {
+		calOps = 400
+	}
+	pl := planner.New(model.Calibrate(mcfg, calOps, 1), nil)
+	planFn := func(id string, w *relation.Workload, req mstore.JoinRequest) (join.Algorithm, error) {
+		choice, err := pl.ChooseFor(join.Request{
+			Config: mcfg,
+			Params: join.Params{Workload: w, MRproc: req.MRproc, K: req.K},
+		})
+		if err != nil {
+			return 0, err
+		}
+		return choice.Best.Algorithm, nil
+	}
+	return shard.Open(m, shard.Config{
+		MapPath:         mapPath,
+		WorkersPerShard: workers,
+		PlanFunc:        planFn,
+	})
 }
 
 func cmdVerify(args []string) {

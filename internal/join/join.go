@@ -28,6 +28,12 @@ import (
 // Algorithm selects a join algorithm.
 type Algorithm int
 
+// Auto is a sentinel, not a runnable algorithm: it asks a planning
+// front-end (the query service, or the shard router's per-shard
+// planner) to choose among the runnable algorithms per execution.
+// Request.Validate and the executors reject it.
+const Auto Algorithm = -1
+
 const (
 	// NestedLoops is the parallel pointer-based nested loops join (§5).
 	NestedLoops Algorithm = iota
@@ -48,6 +54,8 @@ const (
 
 func (a Algorithm) String() string {
 	switch a {
+	case Auto:
+		return "auto"
 	case NestedLoops:
 		return "nested-loops"
 	case SortMerge:

@@ -30,8 +30,8 @@ func smallParams(w *relation.Workload, mem int64) Params {
 	return Params{Workload: w, MRproc: mem, Stagger: true}
 }
 
-// run and mustRun execute through the Request API (the deprecated
-// Run/MustRun shims are covered separately in TestDeprecatedShims).
+// run and mustRun execute through the Request API, the package's only
+// entry point since the package-level Run/MustRun shims were removed.
 func run(alg Algorithm, cfg machine.Config, prm Params) (*Result, error) {
 	return Request{Algorithm: alg, Config: cfg, Params: prm}.Run()
 }
@@ -607,23 +607,5 @@ func TestRequestValidateFoldsDefaults(t *testing.T) {
 	bad := Request{Algorithm: Algorithm(42), Config: smallCfg(), Params: smallParams(w, 96<<10)}
 	if err := bad.Validate(); err == nil {
 		t.Error("unknown algorithm accepted")
-	}
-}
-
-func TestDeprecatedShims(t *testing.T) {
-	w := smallWorkload(1000, 9)
-	want := mustRun(Grace, smallCfg(), smallParams(w, 96<<10))
-	viaRun, err := Run(Grace, smallCfg(), smallParams(w, 96<<10))
-	if err != nil {
-		t.Fatal(err)
-	}
-	viaMust := MustRun(Grace, smallCfg(), smallParams(w, 96<<10))
-	for _, res := range []*Result{viaRun, viaMust} {
-		if res.Signature != want.Signature || res.Elapsed != want.Elapsed {
-			t.Errorf("shim result differs: %+v vs %+v", res, want)
-		}
-	}
-	if _, err := Run(Algorithm(42), smallCfg(), smallParams(w, 96<<10)); err == nil {
-		t.Error("shim accepted unknown algorithm")
 	}
 }

@@ -75,18 +75,3 @@ func (req Request) MustRun() *Result {
 	}
 	return res
 }
-
-// Run executes the chosen algorithm on a fresh machine built from cfg.
-//
-// Deprecated: build a Request and call its Run method. This shim exists
-// so older callers migrate mechanically.
-func Run(alg Algorithm, cfg machine.Config, prm Params) (*Result, error) {
-	return Request{Algorithm: alg, Config: cfg, Params: prm}.Run()
-}
-
-// MustRun is the deprecated form of Request.MustRun.
-//
-// Deprecated: build a Request and call its MustRun method.
-func MustRun(alg Algorithm, cfg machine.Config, prm Params) *Result {
-	return Request{Algorithm: alg, Config: cfg, Params: prm}.MustRun()
-}

@@ -354,6 +354,17 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	r.res.StatsBefore = before
 	r.res.D, r.res.NR = before.DB.D, before.DB.NR
+	if before.DB.Kind == "sharded" && len(before.DB.Shards) > 0 {
+		// A sharded store replicates S but partitions R: each lookup is
+		// routed to exactly one shard and validated against that shard's
+		// local partition sizes. Bound keys by the smallest shard so
+		// keyToRef cannot address rows past a routed shard's floor.
+		minNR := before.DB.Shards[0].NR
+		for _, sh := range before.DB.Shards[1:] {
+			minNR = min(minNR, sh.NR)
+		}
+		r.res.NR = minNR
+	}
 	if r.res.NR < 1 || r.res.D < 1 {
 		return nil, fmt.Errorf("loadgen: server reports empty database (NR=%d D=%d)", r.res.NR, r.res.D)
 	}

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"mmjoin/internal/mstore"
 	"mmjoin/internal/service"
 )
 
@@ -141,7 +142,7 @@ func stubServer(t *testing.T, nr, d int, delay time.Duration) *httptest.Server {
 	t.Helper()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/stats", func(rw http.ResponseWriter, r *http.Request) {
-		st := service.Stats{DB: service.DBStats{D: d, NR: nr, NS: nr}}
+		st := service.Stats{DB: mstore.StoreStats{D: d, NR: nr, NS: nr}}
 		json.NewEncoder(rw).Encode(st)
 	})
 	mux.HandleFunc("/lookup", func(rw http.ResponseWriter, r *http.Request) {

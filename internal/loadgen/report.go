@@ -50,7 +50,11 @@ func Reconcile(before, after service.Stats, res *Result) Reconciliation {
 	res.mu.Unlock()
 
 	joinOKServer := int64(0)
-	for _, alg := range DefaultJoinAlgs[1:] { // every executable algorithm
+	// Every executed join lands in a join_executed_* counter: single
+	// stores resolve auto to a concrete algorithm first, while a sharded
+	// store counts planner-routed requests under join_executed_auto
+	// (each shard may pick a different algorithm).
+	for _, alg := range DefaultJoinAlgs {
 		joinOKServer += delta(before, after, "join_executed_"+alg)
 	}
 	rec := Reconciliation{Checks: []Check{

@@ -154,7 +154,11 @@ type JoinStats struct {
 	Signature uint64
 }
 
-func (a *JoinStats) fold(b JoinStats) {
+// Fold merges b into a. Both fields fold as commutative, associative
+// sums, which is what makes every merge order equivalent: per-worker
+// partial results within one join, and per-shard results across a
+// scatter-gather fan-out, combine to bit-identical totals.
+func (a *JoinStats) Fold(b JoinStats) {
 	a.Pairs += b.Pairs
 	a.Signature += b.Signature
 }
@@ -195,23 +199,26 @@ func (db *DB) ExpectedStats() JoinStats {
 
 // LookupResult is one dereferenced R→S pointer: the R object's id, the
 // S object it references (by partition and index), and that S object's
-// identity word.
+// identity word. Shard names the shard that answered when the store is
+// a router ("" for a single database).
 type LookupResult struct {
 	RID    uint64
 	SPart  uint32
 	SIndex int
 	SWord  uint64
+	Shard  string
 }
 
 // Lookup dereferences R[part][index]'s stored pointer through the
-// mapping — the single-object counterpart of the bulk joins.
+// mapping — the single-object counterpart of the bulk joins. Bounds
+// failures wrap ErrPartRange / ErrIndexRange.
 func (db *DB) Lookup(part, index int) (LookupResult, error) {
 	if part < 0 || part >= len(db.R) {
-		return LookupResult{}, fmt.Errorf("mstore: R partition %d out of range [0,%d)", part, len(db.R))
+		return LookupResult{}, fmt.Errorf("%w: R%d, store has [0,%d)", ErrPartRange, part, len(db.R))
 	}
 	rel := db.R[part]
 	if index < 0 || index >= rel.Count() {
-		return LookupResult{}, fmt.Errorf("mstore: R%d index %d out of range [0,%d)", part, index, rel.Count())
+		return LookupResult{}, fmt.Errorf("%w: R%d[%d], partition has %d objects", ErrIndexRange, part, index, rel.Count())
 	}
 	obj := rel.Object(index)
 	ptr := DecodeSPtr(obj)

@@ -92,6 +92,29 @@ type JoinTelemetry struct {
 	RadixPasses atomic.Int64
 }
 
+// Fold merges another join's telemetry into t: every counter adds
+// (including RadixPasses — passes are work performed, so shards' passes
+// accumulate), while PeakTableBytes folds as a max, since each source's
+// peak was measured against its own independent budget. A shard router
+// folds per-shard telemetry into the request's shared struct this way.
+func (t *JoinTelemetry) Fold(from *JoinTelemetry) {
+	t.TempFiles.Add(from.TempFiles.Load())
+	t.Restages.Add(from.Restages.Load())
+	t.RestagedRefs.Add(from.RestagedRefs.Load())
+	t.StreamProbes.Add(from.StreamProbes.Load())
+	t.Renegotiations.Add(from.Renegotiations.Load())
+	t.RenegotiationsDenied.Add(from.RenegotiationsDenied.Load())
+	t.ExtraGrantBytes.Add(from.ExtraGrantBytes.Load())
+	t.RadixPasses.Add(from.RadixPasses.Load())
+	for {
+		peak := from.PeakTableBytes.Load()
+		cur := t.PeakTableBytes.Load()
+		if peak <= cur || t.PeakTableBytes.CompareAndSwap(cur, peak) {
+			return
+		}
+	}
+}
+
 // memLimiter enforces a join-wide byte budget over the in-memory
 // structures the probes build. budget 0 means unbounded — reservations
 // are accounted (so telemetry still reports the peak) but never denied

@@ -66,7 +66,7 @@ func newPerWorker(p *exec.Pool) perWorker { return make(perWorker, p.Workers()) 
 func (s perWorker) total() JoinStats {
 	var t JoinStats
 	for i := range s {
-		t.fold(s[i].JoinStats)
+		t.Fold(s[i].JoinStats)
 	}
 	return t
 }

@@ -112,6 +112,8 @@ func (req *JoinRequest) withDefaults(db *DB) error {
 	case join.NestedLoops, join.SortMerge, join.Grace, join.HybridHash:
 	case join.TraditionalGrace:
 		return fmt.Errorf("mstore: %v is an analytical baseline; the store executes pointer-based plans only", req.Algorithm)
+	case join.Auto:
+		return fmt.Errorf("mstore: auto needs a planning front-end (the service or a shard router), the store executes concrete algorithms only")
 	default:
 		return fmt.Errorf("mstore: unknown algorithm %v", req.Algorithm)
 	}

@@ -29,9 +29,20 @@ import (
 // Config parameterizes one server. Zero values select the documented
 // defaults.
 type Config struct {
-	// Dir is the database directory (required) and D its partition count.
+	// Dir is the database directory and D its partition count. Required
+	// unless Store is set.
 	Dir string
 	D   int
+
+	// Store, when non-nil, is a pre-opened store the server serves
+	// instead of opening Dir — this is how the sharded scatter-gather
+	// router is mounted (`mmdb serve -shard-map`). The server takes
+	// ownership: Close closes it.
+	Store mstore.Store
+
+	// TmpDir roots per-request spill directories (default Dir/tmp when
+	// Dir is set, else the OS temp dir).
+	TmpDir string
 
 	// MemBudget is the total bytes of join memory the service may have
 	// charged to concurrently executing joins (default 8·DefaultGrant).
@@ -59,18 +70,23 @@ type Config struct {
 }
 
 func (cfg *Config) withDefaults() error {
-	if cfg.Dir == "" {
-		return fmt.Errorf("service: database dir required")
+	if cfg.Store == nil {
+		if cfg.Dir == "" {
+			return fmt.Errorf("service: database dir or store required")
+		}
+		if cfg.D < 1 {
+			return fmt.Errorf("service: D=%d must be >= 1", cfg.D)
+		}
 	}
-	if cfg.D < 1 {
-		return fmt.Errorf("service: D=%d must be >= 1", cfg.D)
+	if cfg.TmpDir == "" {
+		if cfg.Dir != "" {
+			cfg.TmpDir = filepath.Join(cfg.Dir, "tmp")
+		} else {
+			cfg.TmpDir = filepath.Join(os.TempDir(), "mmjoin-serve")
+		}
 	}
-	if cfg.DefaultGrant <= 0 {
-		cfg.DefaultGrant = int64(cfg.D) << 22
-	}
-	if cfg.MemBudget <= 0 {
-		cfg.MemBudget = 8 * cfg.DefaultGrant
-	}
+	// DefaultGrant and MemBudget default in New, once the store's D is
+	// known (a sharded store reports it from its shards).
 	if cfg.MaxQueue == 0 {
 		cfg.MaxQueue = 64
 	}
@@ -91,13 +107,19 @@ func (cfg *Config) withDefaults() error {
 // parallelism over the shared read-only base relations, with per-request
 // temporary directories.
 type Server struct {
-	cfg  Config
-	db   *mstore.DB
-	w    *relation.Workload // the db's shape+references, for the planner
-	pl   *planner.Planner
-	sim  machine.Config // simulated machine the planner costs against
-	adm  *Admission
-	pool *exec.Pool // morsel pool shared by all in-flight joins
+	cfg   Config
+	store mstore.Store
+	// shardRunner and shardMgr are the store's optional sharded
+	// capabilities (nil for a single mapped database): per-shard join
+	// detail, and live add/remove-with-drain membership management.
+	shardRunner mstore.ShardRunner
+	shardMgr    ShardManager
+	d           int                // addressable partition count (store's D)
+	w           *relation.Workload // the store's shape+references, for the planner
+	pl          *planner.Planner
+	sim         machine.Config // simulated machine the planner costs against
+	adm         *Admission
+	pool        *exec.Pool // morsel pool shared by all in-flight joins
 
 	start time.Time
 	// drainMu orders inflight.Add against Drain's draining transition:
@@ -131,20 +153,38 @@ type Server struct {
 	histOrder []string
 }
 
-// New opens the database, derives its workload shape, calibrates the
-// planner, and assembles the admission controller. Close releases the
-// mapping.
+// New opens (or adopts) the store, derives its workload shape,
+// calibrates the planner, and assembles the admission controller. Close
+// releases the store.
 func New(cfg Config) (*Server, error) {
 	if err := cfg.withDefaults(); err != nil {
 		return nil, err
 	}
-	db, err := mstore.OpenDB(cfg.Dir, cfg.D)
-	if err != nil {
-		return nil, err
+	store := cfg.Store
+	if store == nil {
+		db, err := mstore.OpenDB(cfg.Dir, cfg.D)
+		if err != nil {
+			return nil, err
+		}
+		store = db
 	}
-	w, err := db.Workload()
+	stats := store.Stats()
+	if cfg.D == 0 {
+		cfg.D = stats.D
+	}
+	if cfg.D < 1 {
+		store.Close()
+		return nil, fmt.Errorf("service: store reports D=%d", cfg.D)
+	}
+	if cfg.DefaultGrant <= 0 {
+		cfg.DefaultGrant = int64(cfg.D) << 22
+	}
+	if cfg.MemBudget <= 0 {
+		cfg.MemBudget = 8 * cfg.DefaultGrant
+	}
+	w, err := store.Workload()
 	if err != nil {
-		db.Close()
+		store.Close()
 		return nil, err
 	}
 	mcfg := machine.DefaultConfig()
@@ -152,7 +192,8 @@ func New(cfg Config) (*Server, error) {
 	calib := model.Calibrate(mcfg, cfg.CalibrationOps, 1)
 	s := &Server{
 		cfg:      cfg,
-		db:       db,
+		store:    store,
+		d:        cfg.D,
 		w:        w,
 		pl:       planner.New(calib, nil),
 		sim:      mcfg,
@@ -162,6 +203,12 @@ func New(cfg Config) (*Server, error) {
 		reg:      metrics.New(),
 		counters: make(map[string]*metrics.Counter),
 		hists:    make(map[string]*metrics.Histogram),
+	}
+	if sr, ok := store.(mstore.ShardRunner); ok {
+		s.shardRunner = sr
+	}
+	if mgr, ok := store.(ShardManager); ok {
+		s.shardMgr = mgr
 	}
 	// Pool health as callback gauges: occupancy, queue depth, and steal
 	// count read live at every /stats snapshot.
@@ -189,18 +236,28 @@ func New(cfg Config) (*Server, error) {
 		"lookups_total", "lookups_ok", "lookups_bad_request", "lookups_not_found",
 		"lookups_failed", "lookups_rejected_draining",
 		"join_executed_nested-loops", "join_executed_sort-merge",
-		"join_executed_grace", "join_executed_hybrid-hash",
+		"join_executed_grace", "join_executed_hybrid-hash", "join_executed_auto",
+		"radix_passes_total", "shard_adds_total", "shard_removes_total",
 	} {
 		s.counter(name)
 	}
 	return s, nil
 }
 
-// Close releases the worker pool and unmaps the database. Callers
-// should Drain first.
+// ShardManager is the optional membership-management capability of
+// sharded stores (shard.Router satisfies it): mount a new shard, or
+// drain and unmount one. Single-store servers answer 409 on the
+// /v1/shards mutation endpoints.
+type ShardManager interface {
+	AddShard(id, dir string, d int) error
+	RemoveShard(ctx context.Context, id string) error
+}
+
+// Close releases the worker pool and the store (every mapping behind
+// it). Callers should Drain first.
 func (s *Server) Close() error {
 	s.pool.Close()
-	return s.db.Close()
+	return s.store.Close()
 }
 
 // Drain stops admitting new requests (joins answer 503, healthz reports
@@ -277,15 +334,23 @@ func (s *Server) add(name string, d int64) {
 	s.mu.Unlock()
 }
 
-// Handler returns the service's HTTP mux: POST /join, GET /lookup,
-// GET /stats, GET /healthz. Every handler runs behind panic isolation —
-// a panicking request answers 500 and the server keeps serving.
+// Handler returns the service's HTTP mux. The surface is versioned
+// under /v1/ — POST /v1/join, GET /v1/lookup, GET /v1/stats,
+// GET /v1/healthz, and shard management under /v1/shards — with the
+// original unversioned paths kept as aliases for existing clients.
+// Every handler runs behind panic isolation — a panicking request
+// answers 500 and the server keeps serving.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /join", s.handleJoin)
-	mux.HandleFunc("GET /lookup", s.handleLookup)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	for _, prefix := range []string{"/v1", ""} {
+		mux.HandleFunc("POST "+prefix+"/join", s.handleJoin)
+		mux.HandleFunc("GET "+prefix+"/lookup", s.handleLookup)
+		mux.HandleFunc("GET "+prefix+"/stats", s.handleStats)
+		mux.HandleFunc("GET "+prefix+"/healthz", s.handleHealthz)
+	}
+	mux.HandleFunc("GET /v1/shards", s.handleShardsList)
+	mux.HandleFunc("POST /v1/shards", s.handleShardsAdd)
+	mux.HandleFunc("DELETE /v1/shards/{id}", s.handleShardsRemove)
 	return s.isolate(mux)
 }
 
@@ -295,12 +360,45 @@ func (s *Server) isolate(next http.Handler) http.Handler {
 		defer func() {
 			if v := recover(); v != nil {
 				s.inc("panics_recovered")
-				writeJSON(rw, http.StatusInternalServerError,
-					map[string]string{"error": fmt.Sprintf("internal panic: %v", v)})
+				writeError(rw, http.StatusInternalServerError, "internal",
+					fmt.Sprintf("internal panic: %v", v))
 			}
 		}()
 		next.ServeHTTP(rw, r)
 	})
+}
+
+// ErrorBody is the one JSON error shape every endpoint returns:
+//
+//	{"error": {"code": "saturated", "message": "...", "retry_after_ms": 1000}}
+//
+// Code is a small machine-matchable vocabulary (bad_request, draining,
+// saturated, grant_too_large, not_found, not_sharded, abandoned,
+// drain_timeout, conflict, internal); Message is human prose;
+// RetryAfterMs accompanies retryable rejections and mirrors the
+// Retry-After header.
+type ErrorBody struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+}
+
+// ErrorEnvelope wraps ErrorBody under the top-level "error" key.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+func writeError(rw http.ResponseWriter, status int, code, msg string) {
+	writeJSON(rw, status, ErrorEnvelope{Error: ErrorBody{Code: code, Message: msg}})
+}
+
+// writeRetryError also sets the Retry-After header (whole seconds,
+// rounded up) alongside the millisecond hint in the body.
+func writeRetryError(rw http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
+	rw.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retryAfter.Seconds()))))
+	writeJSON(rw, status, ErrorEnvelope{Error: ErrorBody{
+		Code: code, Message: msg, RetryAfterMs: retryAfter.Milliseconds(),
+	}})
 }
 
 // JoinRequest is the wire form of one join query.
@@ -341,7 +439,29 @@ type JoinResponse struct {
 	Restages       int64 `json:"restages,omitempty"`       // oversized buckets respilled to disk
 	StreamProbes   int64 `json:"streamProbes,omitempty"`   // hot-key buckets joined by streaming
 	Renegotiations int64 `json:"renegotiations,omitempty"` // mid-join grant growths obtained
+	RadixPasses    int64 `json:"radixPasses,omitempty"`    // cache-conscious partitioning passes
 	PeakTableBytes int64 `json:"peakTableBytes,omitempty"` // high-water counted probe memory
+
+	// Shards carries the per-shard breakdown of a scatter-gather join
+	// (sharded stores only): which algorithm each shard planned, its
+	// slice of the pairs, and its own telemetry. The merged Pairs and
+	// Signature above are the fold of these.
+	Shards []ShardJoinDetail `json:"shards,omitempty"`
+}
+
+// ShardJoinDetail is one shard's contribution on the wire.
+type ShardJoinDetail struct {
+	Shard          string `json:"shard"`
+	Algorithm      string `json:"algorithm"`
+	Pairs          int64  `json:"pairs"`
+	Signature      string `json:"signature"` // hex, same encoding as the merged one
+	ElapsedNs      int64  `json:"elapsedNs"`
+	Restages       int64  `json:"restages,omitempty"`
+	StreamProbes   int64  `json:"streamProbes,omitempty"`
+	Renegotiations int64  `json:"renegotiations,omitempty"`
+	RadixPasses    int64  `json:"radixPasses,omitempty"`
+	PeakTableBytes int64  `json:"peakTableBytes,omitempty"`
+	TempFiles      int64  `json:"tempFiles,omitempty"`
 }
 
 // grantGrower adapts the admission controller to the store's mid-join
@@ -377,7 +497,7 @@ func (s *Server) handleJoin(rw http.ResponseWriter, r *http.Request) {
 	// this request might still read it.
 	if !s.beginRequest() {
 		s.inc("rejected_draining")
-		writeJSON(rw, http.StatusServiceUnavailable, map[string]string{"error": "draining"})
+		writeError(rw, http.StatusServiceUnavailable, "draining", "server is draining")
 		return
 	}
 	defer s.inflight.Done()
@@ -386,7 +506,7 @@ func (s *Server) handleJoin(rw http.ResponseWriter, r *http.Request) {
 	if r.Body != nil {
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
 			s.inc("bad_requests")
-			writeJSON(rw, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+			writeError(rw, http.StatusBadRequest, "bad_request", "bad request body: "+err.Error())
 			return
 		}
 	}
@@ -396,10 +516,10 @@ func (s *Server) handleJoin(rw http.ResponseWriter, r *http.Request) {
 	// value must be rejected here, not trusted. More buckets than R
 	// objects can never help; mstore additionally clamps K to the
 	// per-partition reference count.
-	if maxK := s.db.CountR(); req.K < 0 || req.K > maxK {
+	if maxK := s.store.CountR(); req.K < 0 || req.K > maxK {
 		s.inc("bad_requests")
-		writeJSON(rw, http.StatusBadRequest,
-			map[string]string{"error": fmt.Sprintf("k=%d out of range [0..%d]", req.K, maxK)})
+		writeError(rw, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("k=%d out of range [0..%d]", req.K, maxK))
 		return
 	}
 	grant := req.MemBytes
@@ -407,10 +527,10 @@ func (s *Server) handleJoin(rw http.ResponseWriter, r *http.Request) {
 		grant = s.cfg.DefaultGrant
 	}
 	// Every partition goroutine needs at least one page of grant.
-	if min := int64(s.cfg.D) * 4096; grant < min {
+	if min := int64(s.d) * 4096; grant < min {
 		grant = min
 	}
-	mrproc := grant / int64(s.cfg.D)
+	mrproc := grant / int64(s.d)
 
 	timeout := s.cfg.RequestTimeout
 	if req.TimeoutMs > 0 && time.Duration(req.TimeoutMs)*time.Millisecond < timeout {
@@ -420,7 +540,11 @@ func (s *Server) handleJoin(rw http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	// Plan: cost the request through the calibrated model. The planner
-	// sees the exact database shape (measured skew and distinct counts).
+	// sees the exact store shape (measured skew and distinct counts; a
+	// sharded store contributes its merged workload). On a sharded store
+	// an auto request stays join.Auto — the router re-plans per shard
+	// against each shard's own workload, and the merged-view choice below
+	// is advisory (it still populates the response's plan table).
 	resp := JoinResponse{MemBytes: grant, MRproc: mrproc}
 	var alg join.Algorithm
 	if req.Algorithm == "" || req.Algorithm == "auto" {
@@ -430,7 +554,7 @@ func (s *Server) handleJoin(rw http.ResponseWriter, r *http.Request) {
 		})
 		if err != nil {
 			s.inc("errors_internal")
-			writeJSON(rw, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			writeError(rw, http.StatusInternalServerError, "internal", err.Error())
 			return
 		}
 		alg = choice.Best.Algorithm
@@ -439,12 +563,16 @@ func (s *Server) handleJoin(rw http.ResponseWriter, r *http.Request) {
 			resp.Plan = append(resp.Plan, PlanEntry{Algorithm: c.Algorithm.String(), PredictedNs: int64(c.Predicted)})
 		}
 		s.inc("plan_choice_" + alg.String())
+		if s.shardRunner != nil {
+			alg = join.Auto
+		}
 	} else {
 		var ok bool
 		alg, ok = parseAlgorithm(req.Algorithm)
 		if !ok {
 			s.inc("bad_requests")
-			writeJSON(rw, http.StatusBadRequest, map[string]string{"error": "unknown algorithm " + strconv.Quote(req.Algorithm)})
+			writeError(rw, http.StatusBadRequest, "bad_request",
+				"unknown algorithm "+strconv.Quote(req.Algorithm))
 			return
 		}
 	}
@@ -464,10 +592,11 @@ func (s *Server) handleJoin(rw http.ResponseWriter, r *http.Request) {
 	// handler; an abandoned join keeps its grant until it finishes (the
 	// memory truly is in use until then) and releases it on completion.
 	type outcome struct {
-		st  mstore.JoinStats
-		err error
+		st      mstore.JoinStats
+		details []mstore.ShardJoinStat
+		err     error
 	}
-	tmp := filepath.Join(s.cfg.Dir, "tmp", fmt.Sprintf("req%d", s.reqSeq.Add(1)))
+	tmp := filepath.Join(s.cfg.TmpDir, fmt.Sprintf("req%d", s.reqSeq.Add(1)))
 	execStart := time.Now()
 	done := make(chan outcome, 1)
 	tel := &mstore.JoinTelemetry{}
@@ -501,19 +630,26 @@ func (s *Server) handleJoin(rw http.ResponseWriter, r *http.Request) {
 		}
 		// The join's morsels run on the server's shared pool: however
 		// many joins are in flight, at most cfg.Workers goroutines
-		// execute morsels. Passing ctx aborts the join between morsels
-		// when the client abandons it, releasing the grant early. The
-		// grant charged at admission is the join's probe-memory bound
+		// execute morsels (a sharded store substitutes its per-shard
+		// pools). Passing ctx aborts the join between morsels when the
+		// client abandons it, releasing the grant early. The grant
+		// charged at admission is the join's probe-memory bound
 		// (MemGrant), and a join that outgrows it renegotiates against
 		// the same shared budget through the controller.
-		st, err := s.db.Run(mstore.JoinRequest{
+		jr := mstore.JoinRequest{
 			Algorithm: alg, MRproc: mrproc, K: req.K, TmpDir: tmp,
 			MemGrant: grant, Telemetry: tel, Negotiator: grantGrower{s.adm},
 			Pool: s.pool, Ctx: ctx,
-		})
+		}
+		var out outcome
+		if s.shardRunner != nil {
+			out.st, out.details, out.err = s.shardRunner.RunShards(jr)
+		} else {
+			out.st, out.err = s.store.Run(jr)
+		}
 		s.foldTelemetry(tel)
 		release()
-		done <- outcome{st: st, err: err}
+		done <- out
 	}()
 
 	select {
@@ -521,7 +657,7 @@ func (s *Server) handleJoin(rw http.ResponseWriter, r *http.Request) {
 		elapsed := time.Since(execStart)
 		if out.err != nil {
 			s.inc("errors_internal")
-			writeJSON(rw, http.StatusInternalServerError, map[string]string{"error": out.err.Error()})
+			writeError(rw, http.StatusInternalServerError, "internal", out.err.Error())
 			return
 		}
 		s.inc("join_executed_" + alg.String())
@@ -532,12 +668,23 @@ func (s *Server) handleJoin(rw http.ResponseWriter, r *http.Request) {
 		resp.Restages = tel.Restages.Load()
 		resp.StreamProbes = tel.StreamProbes.Load()
 		resp.Renegotiations = tel.Renegotiations.Load()
+		resp.RadixPasses = tel.RadixPasses.Load()
 		resp.PeakTableBytes = tel.PeakTableBytes.Load()
+		for _, det := range out.details {
+			resp.Shards = append(resp.Shards, ShardJoinDetail{
+				Shard: det.Shard, Algorithm: det.Algorithm,
+				Pairs: det.Pairs, Signature: fmt.Sprintf("%016x", det.Signature),
+				ElapsedNs: det.ElapsedNs, Restages: det.Restages,
+				StreamProbes: det.StreamProbes, Renegotiations: det.Renegotiations,
+				RadixPasses: det.RadixPasses, PeakTableBytes: det.PeakTableBytes,
+				TempFiles: det.TempFiles,
+			})
+		}
 		writeJSON(rw, http.StatusOK, resp)
 	case <-ctx.Done():
 		s.inc("join_abandoned")
-		writeJSON(rw, http.StatusServiceUnavailable,
-			map[string]string{"error": "request abandoned mid-join: " + ctx.Err().Error()})
+		writeError(rw, http.StatusServiceUnavailable, "abandoned",
+			"request abandoned mid-join: "+ctx.Err().Error())
 	}
 }
 
@@ -550,6 +697,7 @@ func (s *Server) foldTelemetry(tel *mstore.JoinTelemetry) {
 	s.add("grant_renegotiations_total", tel.Renegotiations.Load())
 	s.add("grant_renegotiations_denied_total", tel.RenegotiationsDenied.Load())
 	s.add("temp_relations_total", tel.TempFiles.Load())
+	s.add("radix_passes_total", tel.RadixPasses.Load())
 	for {
 		peak := tel.PeakTableBytes.Load()
 		cur := s.peakTableBytes.Load()
@@ -610,29 +758,29 @@ func (s *Server) retryAfterHint() time.Duration { return s.hintFor(s.adm.QueueDe
 // and deadline expiry are retryable (429 with Retry-After), an
 // over-budget grant is not (413).
 func (s *Server) rejectAdmission(rw http.ResponseWriter, err error) {
-	retryAfter := strconv.Itoa(int(math.Ceil(s.retryAfterHint().Seconds())))
+	hint := s.retryAfterHint()
 	switch {
 	case errors.Is(err, ErrSaturated):
 		s.inc("rejected_saturated")
-		rw.Header().Set("Retry-After", retryAfter)
-		writeJSON(rw, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
+		writeRetryError(rw, http.StatusTooManyRequests, "saturated", err.Error(), hint)
 	case errors.Is(err, ErrGrantTooLarge):
 		s.inc("rejected_too_large")
-		writeJSON(rw, http.StatusRequestEntityTooLarge, map[string]string{"error": err.Error()})
+		writeError(rw, http.StatusRequestEntityTooLarge, "grant_too_large", err.Error())
 	case errors.Is(err, ErrBadGrant):
 		s.inc("bad_requests")
-		writeJSON(rw, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		writeError(rw, http.StatusBadRequest, "bad_request", err.Error())
 	default:
 		// Context cancellation or deadline while queued: the client may
 		// retry once load subsides.
 		s.inc("rejected_deadline")
-		rw.Header().Set("Retry-After", retryAfter)
-		writeJSON(rw, http.StatusTooManyRequests,
-			map[string]string{"error": "admission wait aborted: " + err.Error()})
+		writeRetryError(rw, http.StatusTooManyRequests, "saturated",
+			"admission wait aborted: "+err.Error(), hint)
 	}
 }
 
-// LookupResponse is the wire form of one pointer dereference.
+// LookupResponse is the wire form of one pointer dereference. Shard is
+// the id of the shard that answered (sharded stores only) — (part,
+// index) names an object on that shard, not a global coordinate.
 type LookupResponse struct {
 	RPart  int    `json:"rPart"`
 	RIndex int    `json:"rIndex"`
@@ -640,6 +788,7 @@ type LookupResponse struct {
 	SPart  uint32 `json:"sPart"`
 	SIndex int    `json:"sIndex"`
 	SWord  uint64 `json:"sWord"` // the S object's identity word
+	Shard  string `json:"shard,omitempty"`
 }
 
 func (s *Server) handleLookup(rw http.ResponseWriter, r *http.Request) {
@@ -650,29 +799,35 @@ func (s *Server) handleLookup(rw http.ResponseWriter, r *http.Request) {
 	// accounting can reconcile each endpoint exactly.
 	if !s.beginRequest() {
 		s.inc("lookups_rejected_draining")
-		writeJSON(rw, http.StatusServiceUnavailable, map[string]string{"error": "draining"})
+		writeError(rw, http.StatusServiceUnavailable, "draining", "server is draining")
 		return
 	}
 	defer s.inflight.Done()
 	start := time.Now()
 	part, err1 := strconv.Atoi(r.URL.Query().Get("part"))
 	index, err2 := strconv.Atoi(r.URL.Query().Get("index"))
-	if err1 != nil || err2 != nil || part < 0 || part >= s.db.D {
+	if err1 != nil || err2 != nil {
 		s.inc("lookups_bad_request")
-		writeJSON(rw, http.StatusBadRequest, map[string]string{"error": "need part=[0..D) and index=N"})
+		writeError(rw, http.StatusBadRequest, "bad_request", "need part=N and index=N")
 		return
 	}
-	rel := s.db.R[part]
-	if index < 0 || index >= rel.Count() {
+	// Bounds are the store's to judge: a sharded store routes first and
+	// validates (part, index) against the shard that owns the name, so a
+	// part that is out of range globally is simply out of range on that
+	// shard — the service no longer second-guesses with a global D.
+	out, err := s.store.Lookup(part, index)
+	switch {
+	case errors.Is(err, mstore.ErrPartRange):
+		s.inc("lookups_bad_request")
+		writeError(rw, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	case errors.Is(err, mstore.ErrIndexRange):
 		s.inc("lookups_not_found")
-		writeJSON(rw, http.StatusNotFound,
-			map[string]string{"error": fmt.Sprintf("R%d has %d objects", part, rel.Count())})
+		writeError(rw, http.StatusNotFound, "not_found", err.Error())
 		return
-	}
-	out, err := s.db.Lookup(part, index)
-	if err != nil {
+	case err != nil:
 		s.inc("lookups_failed")
-		writeJSON(rw, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		writeError(rw, http.StatusInternalServerError, "internal", err.Error())
 		return
 	}
 	s.inc("lookups_ok")
@@ -680,7 +835,85 @@ func (s *Server) handleLookup(rw http.ResponseWriter, r *http.Request) {
 	writeJSON(rw, http.StatusOK, LookupResponse{
 		RPart: part, RIndex: index,
 		RID: out.RID, SPart: out.SPart, SIndex: out.SIndex, SWord: out.SWord,
+		Shard: out.Shard,
 	})
+}
+
+// handleShardsList answers GET /v1/shards: the store's shard layout
+// (empty for a single mapped database, whose kind says so).
+func (s *Server) handleShardsList(rw http.ResponseWriter, r *http.Request) {
+	st := s.store.Stats()
+	writeJSON(rw, http.StatusOK, map[string]any{
+		"kind":   st.Kind,
+		"shards": st.Shards,
+	})
+}
+
+// ShardAddRequest is the wire form of POST /v1/shards.
+type ShardAddRequest struct {
+	ID  string `json:"id"`
+	Dir string `json:"dir"`
+	D   int    `json:"d"`
+}
+
+func (s *Server) handleShardsAdd(rw http.ResponseWriter, r *http.Request) {
+	if s.shardMgr == nil {
+		writeError(rw, http.StatusConflict, "not_sharded",
+			"store is a single database; shard management needs -shard-map")
+		return
+	}
+	if !s.beginRequest() {
+		writeError(rw, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+	defer s.inflight.Done()
+	var req ShardAddRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(rw, http.StatusBadRequest, "bad_request", "bad request body: "+err.Error())
+		return
+	}
+	if req.ID == "" || req.Dir == "" || req.D < 1 {
+		writeError(rw, http.StatusBadRequest, "bad_request", "need id, dir, and d >= 1")
+		return
+	}
+	if err := s.shardMgr.AddShard(req.ID, req.Dir, req.D); err != nil {
+		writeError(rw, http.StatusConflict, "conflict", err.Error())
+		return
+	}
+	s.inc("shard_adds_total")
+	writeJSON(rw, http.StatusOK, map[string]any{"added": req.ID})
+}
+
+// handleShardsRemove answers DELETE /v1/shards/{id}: the shard leaves
+// the membership immediately and the call blocks on its drain — joins
+// and lookups in flight against the shard finish before its mapping is
+// released. The request context (plus the server's request timeout)
+// bounds the wait; a timed-out drain answers 504 and the shard stays
+// mapped until shutdown.
+func (s *Server) handleShardsRemove(rw http.ResponseWriter, r *http.Request) {
+	if s.shardMgr == nil {
+		writeError(rw, http.StatusConflict, "not_sharded",
+			"store is a single database; shard management needs -shard-map")
+		return
+	}
+	if !s.beginRequest() {
+		writeError(rw, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+	defer s.inflight.Done()
+	id := r.PathValue("id")
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	if err := s.shardMgr.RemoveShard(ctx, id); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			writeError(rw, http.StatusGatewayTimeout, "drain_timeout", err.Error())
+			return
+		}
+		writeError(rw, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	s.inc("shard_removes_total")
+	writeJSON(rw, http.StatusOK, map[string]any{"removed": id})
 }
 
 // HistogramStats is the exported view of one latency histogram.
@@ -696,10 +929,13 @@ type HistogramStats struct {
 
 // Stats is the /stats document.
 type Stats struct {
-	UptimeSec float64        `json:"uptimeSec"`
-	Draining  bool           `json:"draining"`
-	DB        DBStats        `json:"db"`
-	Admission AdmissionStats `json:"admission"`
+	UptimeSec float64 `json:"uptimeSec"`
+	Draining  bool    `json:"draining"`
+	// DB describes the served store. Kind distinguishes a single mapped
+	// database from a sharded router; the latter carries one entry per
+	// live shard (its own counts, pool occupancy, and draining flag).
+	DB        mstore.StoreStats `json:"db"`
+	Admission AdmissionStats    `json:"admission"`
 	// Pool is the shared morsel pool: occupancy (Busy/PeakBusy vs
 	// Workers), morsel queue depth, and steal/executed counts.
 	Pool exec.Stats `json:"pool"`
@@ -710,25 +946,13 @@ type Stats struct {
 	Histograms map[string]HistogramStats `json:"histograms"`
 }
 
-// DBStats describes the served database.
-type DBStats struct {
-	Dir     string `json:"dir"`
-	D       int    `json:"d"`
-	ObjSize int    `json:"objSize"`
-	NR      int    `json:"nr"`
-	NS      int    `json:"ns"`
-}
-
 // StatsSnapshot assembles the /stats document (exported for tests and
 // embedding).
 func (s *Server) StatsSnapshot() Stats {
 	st := Stats{
-		UptimeSec: time.Since(s.start).Seconds(),
-		Draining:  s.draining.Load(),
-		DB: DBStats{
-			Dir: s.cfg.Dir, D: s.db.D, ObjSize: s.db.ObjSize,
-			NR: s.db.CountR(), NS: s.db.CountS(),
-		},
+		UptimeSec:  time.Since(s.start).Seconds(),
+		Draining:   s.draining.Load(),
+		DB:         s.store.Stats(),
 		Admission:  s.adm.Stats(),
 		Pool:       s.pool.Stats(),
 		Gauges:     s.reg.GaugeValues(),

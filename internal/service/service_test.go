@@ -39,6 +39,18 @@ func newTestServer(t *testing.T, objects int, cfg Config) *Server {
 	return s
 }
 
+// expectedStats reopens the server's database for ground truth (the
+// server itself exposes only the Store interface).
+func expectedStats(t *testing.T, s *Server) mstore.JoinStats {
+	t.Helper()
+	db, err := mstore.OpenDB(s.cfg.Dir, s.cfg.D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	return db.ExpectedStats()
+}
+
 func postJoin(t *testing.T, ts *httptest.Server, req JoinRequest) (*http.Response, JoinResponse) {
 	t.Helper()
 	body, _ := json.Marshal(req)
@@ -61,7 +73,7 @@ func TestServeJoinAuto(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	want := s.db.ExpectedStats()
+	want := expectedStats(t, s)
 	resp, jr := postJoin(t, ts, JoinRequest{})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
@@ -82,7 +94,7 @@ func TestServeJoinEachAlgorithm(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	want := s.db.ExpectedStats()
+	want := expectedStats(t, s)
 	for _, alg := range []string{"nested-loops", "sort-merge", "grace", "hybrid-hash"} {
 		resp, jr := postJoin(t, ts, JoinRequest{Algorithm: alg, MemBytes: 256 << 10})
 		if resp.StatusCode != http.StatusOK {
@@ -117,7 +129,7 @@ func TestServeRejectsBadRequests(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("negative k: status %d", resp.StatusCode)
 	}
-	resp, _ = postJoin(t, ts, JoinRequest{Algorithm: "grace", K: s.db.CountR() + 1})
+	resp, _ = postJoin(t, ts, JoinRequest{Algorithm: "grace", K: s.store.CountR() + 1})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("absurd k: status %d", resp.StatusCode)
 	}
@@ -147,7 +159,7 @@ func TestServeSaturationBackpressure(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("after release: status %d", resp.StatusCode)
 	}
-	if jr.Pairs != s.db.ExpectedStats().Pairs {
+	if jr.Pairs != expectedStats(t, s).Pairs {
 		t.Fatalf("wrong result after congestion: %+v", jr)
 	}
 }
@@ -279,7 +291,7 @@ func TestServeGracefulDrain(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := <-inflight
-	if r.code != http.StatusOK || r.jr.Pairs != s.db.ExpectedStats().Pairs {
+	if r.code != http.StatusOK || r.jr.Pairs != expectedStats(t, s).Pairs {
 		t.Fatalf("in-flight join during drain: %+v", r)
 	}
 }
@@ -329,7 +341,7 @@ func TestServeDrainWaitsForAdmissionQueuedJoin(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := <-queued
-	if r.code != http.StatusOK || r.jr.Pairs != s.db.ExpectedStats().Pairs {
+	if r.code != http.StatusOK || r.jr.Pairs != expectedStats(t, s).Pairs {
 		t.Fatalf("queued join during drain: %+v", r)
 	}
 }
@@ -355,7 +367,7 @@ func TestServeLookup(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	want, err := s.db.Lookup(1, 5)
+	want, err := s.store.Lookup(1, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -409,7 +421,7 @@ func TestServeStats(t *testing.T) {
 	if st.Admission.BudgetBytes != s.cfg.MemBudget || st.Admission.Admitted < 1 {
 		t.Fatalf("admission %+v", st.Admission)
 	}
-	if st.DB.NR != s.db.CountR() || st.DB.D != 3 {
+	if st.DB.NR != s.store.CountR() || st.DB.D != 3 {
 		t.Fatalf("db %+v", st.DB)
 	}
 	found := false
@@ -436,7 +448,7 @@ func TestServeConcurrentClientsRace(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	want := s.db.ExpectedStats()
+	want := expectedStats(t, s)
 	wantSig := fmt.Sprintf("%016x", want.Signature)
 	algs := []string{"", "nested-loops", "sort-merge", "grace", "hybrid-hash"}
 

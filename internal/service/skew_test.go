@@ -65,7 +65,7 @@ func TestSkewServeGrantBoundedJoin(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	want := s.db.ExpectedStats()
+	want := expectedStats(t, s)
 	for _, alg := range []string{"grace", "hybrid-hash"} {
 		resp, jr := postJoin(t, ts, JoinRequest{Algorithm: alg, MemBytes: grant, K: 4})
 		if resp.StatusCode != 200 {
@@ -113,7 +113,7 @@ func TestSkewServeRenegotiationSucceeds(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	want := s.db.ExpectedStats()
+	want := expectedStats(t, s)
 	resp, jr := postJoin(t, ts, JoinRequest{Algorithm: "grace", MemBytes: grant, K: 4})
 	if resp.StatusCode != 200 {
 		t.Fatalf("status %d", resp.StatusCode)
