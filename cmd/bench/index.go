@@ -1,0 +1,247 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"slices"
+	"time"
+
+	"mmjoin/internal/exec"
+	"mmjoin/internal/join"
+	"mmjoin/internal/machine"
+	"mmjoin/internal/model"
+	"mmjoin/internal/mstore"
+	"mmjoin/internal/planner"
+)
+
+// The index panel measures the index-accelerated join paths against the
+// four kernel algorithms on freshly indexed databases at two |R|:|S|
+// ratios, across the same workers axis as the main mstore panel. Beyond
+// raw ns-per-pair it records the bulk-load time and its amortization:
+// how many joins the index must serve before the build cost is paid back
+// by the per-join saving — the number an operator needs to decide
+// whether `mmdb index` is worth running. It also records what the
+// planner picks for each ratio with the index candidate set, making
+// "auto routes the winning workload at an index plan" a checked-in,
+// regression-gated fact rather than a claim.
+
+type indexJoinPoint struct {
+	Workers   int     `json:"workers"`
+	Runs      int     `json:"runs"`
+	BestNs    int64   `json:"best_ns"`
+	NsPerPair float64 `json:"ns_per_pair"`
+}
+
+type indexAlgoResult struct {
+	Algorithm string           `json:"algorithm"`
+	Pairs     int64            `json:"pairs"`
+	Signature string           `json:"signature"`
+	Points    []indexJoinPoint `json:"points"`
+}
+
+type indexRatioResult struct {
+	RObjects int   `json:"r_objects"`
+	SObjects int   `json:"s_objects"`
+	BuildNs  int64 `json:"build_ns"`
+	// BuildAmortJoins is BuildNs over the per-join saving of the best
+	// index plan vs the best non-index plan (at the widest workers
+	// point); 0 when no index plan wins, i.e. the build never pays off
+	// on this ratio.
+	BuildAmortJoins float64 `json:"build_amort_joins"`
+	// PlannerPick is what `-alg auto` would run on this database with
+	// the index candidate set.
+	PlannerPick        string            `json:"planner_pick"`
+	PlannerPickIsIndex bool              `json:"planner_pick_is_index"`
+	Algorithms         []indexAlgoResult `json:"algorithms"`
+}
+
+type indexPanel struct {
+	ObjSize int                `json:"obj_size"`
+	D       int                `json:"d"`
+	MRproc  int64              `json:"mrproc_bytes"`
+	Ratios  []indexRatioResult `json:"ratios"`
+}
+
+// indexPanelAlgorithms is every plan the panel times, kernels first.
+var indexPanelAlgorithms = []join.Algorithm{
+	join.NestedLoops, join.SortMerge, join.Grace, join.HybridHash,
+	join.IndexNL, join.IndexMerge,
+}
+
+// runIndexPanel builds the two ratio databases, bulk-loads their
+// indexes, and times all six plans across the workers axis. Sizes are
+// fixed (not scaled by -mstore-objects) so points stay comparable
+// between the full baseline run and the CI smoke.
+func runIndexPanel(d, runs int) (*indexPanel, error) {
+	const (
+		objSize = 64
+		mrproc  = int64(1 << 20)
+		sObj    = 48000
+	)
+	workerAxis := []int{1, d, runtime.GOMAXPROCS(0)}
+	slices.Sort(workerAxis)
+	workerAxis = slices.Compact(workerAxis)
+
+	panel := &indexPanel{ObjSize: objSize, D: d, MRproc: mrproc}
+	for _, ratio := range []struct{ r, s int }{{sObj, sObj}, {sObj / 8, sObj}} {
+		dir, err := os.MkdirTemp("", "mmjoin-bench-index")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		db, err := mstore.CreateDB(filepath.Join(dir, "db"), d, ratio.r, ratio.s, objSize, 42)
+		if err != nil {
+			return nil, err
+		}
+		defer db.Close()
+
+		p := exec.NewPool(0)
+		start := time.Now()
+		err = db.BuildIndexes(context.Background(), p)
+		buildNs := time.Since(start).Nanoseconds()
+		p.Close()
+		if err != nil {
+			return nil, fmt.Errorf("index panel %d:%d: build: %w", ratio.r, ratio.s, err)
+		}
+		want := db.ExpectedStats()
+
+		res := indexRatioResult{RObjects: ratio.r, SObjects: ratio.s, BuildNs: buildNs}
+		bestIndex, bestOther := int64(1<<63-1), int64(1<<63-1)
+		for _, alg := range indexPanelAlgorithms {
+			a := indexAlgoResult{
+				Algorithm: alg.String(),
+				Pairs:     want.Pairs,
+				Signature: fmt.Sprintf("%016x", want.Signature),
+			}
+			for _, w := range workerAxis {
+				best := int64(1<<63 - 1)
+				for run := 0; run < runs; run++ {
+					tmp := filepath.Join(dir, fmt.Sprintf("tmp-%s-%d-%d", alg, w, run))
+					start := time.Now()
+					st, err := db.Run(mstore.JoinRequest{
+						Algorithm: alg, MRproc: mrproc, Workers: w, TmpDir: tmp,
+					})
+					el := time.Since(start).Nanoseconds()
+					if err != nil {
+						return nil, fmt.Errorf("index panel %d:%d %v workers=%d: %w", ratio.r, ratio.s, alg, w, err)
+					}
+					if st != want {
+						return nil, fmt.Errorf("index panel %d:%d %v workers=%d: stats %+v, want %+v (determinism violated)",
+							ratio.r, ratio.s, alg, w, st, want)
+					}
+					best = min(best, el)
+				}
+				a.Points = append(a.Points, indexJoinPoint{
+					Workers: w, Runs: runs, BestNs: best,
+					NsPerPair: round2(float64(best) / float64(want.Pairs)),
+				})
+			}
+			wide := a.Points[len(a.Points)-1].BestNs
+			if alg == join.IndexNL || alg == join.IndexMerge {
+				bestIndex = min(bestIndex, wide)
+			} else {
+				bestOther = min(bestOther, wide)
+			}
+			res.Algorithms = append(res.Algorithms, a)
+			fmt.Printf("mstore index %d:%d %-12s: ", ratio.r, ratio.s, alg)
+			for _, pt := range a.Points {
+				fmt.Printf("w=%d %.1fms  ", pt.Workers, time.Duration(pt.BestNs).Seconds()*1000)
+			}
+			fmt.Println()
+		}
+		if bestIndex < bestOther {
+			res.BuildAmortJoins = round2(float64(buildNs) / float64(bestOther-bestIndex))
+		}
+
+		// What would `-alg auto` run here? Cost the measured workload
+		// through the same calibrated model the serving layers use, with
+		// the indexed candidate set.
+		wl, err := db.Workload()
+		if err != nil {
+			return nil, err
+		}
+		mcfg := machine.DefaultConfig()
+		mcfg.D = d
+		choice, err := planner.New(model.Calibrate(mcfg, 400, 1), planner.IndexAlgorithms).ChooseFor(join.Request{
+			Config: mcfg,
+			Params: join.Params{Workload: wl, MRproc: mrproc},
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.PlannerPick = choice.Best.Algorithm.String()
+		res.PlannerPickIsIndex = choice.Best.Algorithm == join.IndexNL || choice.Best.Algorithm == join.IndexMerge
+		fmt.Printf("mstore index %d:%d: build %.1fms, amortized over %.1f joins, planner picks %s\n",
+			ratio.r, ratio.s, time.Duration(buildNs).Seconds()*1000, res.BuildAmortJoins, res.PlannerPick)
+
+		panel.Ratios = append(panel.Ratios, res)
+	}
+	return panel, nil
+}
+
+// checkIndexBaseline gates the index-path ns-per-pair in the freshly
+// written report against the checked-in baseline: for each (ratio,
+// algorithm) present in both, the best point across worker counts must
+// not regress by more than 20%. Gating the per-algorithm best rather
+// than every worker point keeps the gate meaningful on a 1-CPU host,
+// where the worker axis is timing noise by construction.
+func checkIndexBaseline(basePath, curPath string) error {
+	read := func(path string) (*indexPanel, error) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var r mstoreReport
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", path, err)
+		}
+		if r.Index == nil {
+			return nil, fmt.Errorf("%s has no index panel", path)
+		}
+		return r.Index, nil
+	}
+	base, err := read(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := read(curPath)
+	if err != nil {
+		return err
+	}
+	key := func(r indexRatioResult, alg string) string {
+		return fmt.Sprintf("%d:%d/%s", r.RObjects, r.SObjects, alg)
+	}
+	best := func(p *indexPanel) map[string]float64 {
+		m := map[string]float64{}
+		for _, r := range p.Ratios {
+			for _, a := range r.Algorithms {
+				if a.Algorithm != join.IndexNL.String() && a.Algorithm != join.IndexMerge.String() {
+					continue
+				}
+				for _, pt := range a.Points {
+					k := key(r, a.Algorithm)
+					if v, ok := m[k]; !ok || pt.NsPerPair < v {
+						m[k] = pt.NsPerPair
+					}
+				}
+			}
+		}
+		return m
+	}
+	ref := best(base)
+	for k, v := range best(cur) {
+		b, ok := ref[k]
+		if !ok || b <= 0 {
+			continue
+		}
+		if v > 1.2*b {
+			return fmt.Errorf("index join %s regressed: best %.2f ns/pair vs baseline best %.2f (>20%%)",
+				k, v, b)
+		}
+	}
+	return nil
+}

@@ -171,6 +171,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}
+		if *msBaseline != "" {
+			if err := checkIndexBaseline(*msBaseline, *msOut); err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("index join ns-per-pair within 20%% of baseline %s\n", *msBaseline)
+		}
 		return
 	}
 	if *svcOnly {

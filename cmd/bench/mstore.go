@@ -62,6 +62,10 @@ type mstoreReport struct {
 	// Shard measures the scatter-gather router against the single store
 	// it was split from (see cmd/bench/shard.go).
 	Shard *shardPanel `json:"shard,omitempty"`
+	// Index measures the index-accelerated join paths against the four
+	// kernels on freshly indexed databases, with bulk-load amortization
+	// and the planner's pick per ratio (see cmd/bench/index.go).
+	Index *indexPanel `json:"index,omitempty"`
 }
 
 // perfCounts is one best-effort hardware-counter measurement. Source
@@ -208,6 +212,12 @@ func runMstorePanel(objects, d, runs, kernelObjects int, out string) error {
 		return err
 	}
 	r.Kernels = kp
+
+	ip, err := runIndexPanel(d, runs)
+	if err != nil {
+		return err
+	}
+	r.Index = ip
 
 	f, err := os.Create(out)
 	if err != nil {

@@ -5,16 +5,20 @@
 //
 // Usage:
 //
-//	mmdb create -dir DIR [-objects N] [-d D] [-objsize B] [-seed N]
-//	mmdb join   -dir DIR [-alg all|auto|nested-loops|sort-merge|grace|hybrid-hash] [-k K] [-mrproc B] [-workers N] [-radix-bits N] [-probe-batch N]
+//	mmdb create -dir DIR [-objects N] [-d D] [-objsize B] [-seed N] [-index]
+//	mmdb index  -dir DIR [-d D] [-workers N]
+//	mmdb join   -dir DIR [-alg all|auto|nested-loops|sort-merge|grace|hybrid-hash|index-nl|index-merge] [-k K] [-mrproc B] [-workers N] [-radix-bits N] [-probe-batch N]
 //	mmdb bench  -dir DIR [-runs N] [-workers N]
 //	mmdb split  -src DIR -out DIR [-shards N] [-d D]
 //	mmdb serve  {-dir DIR | -shard-map FILE} [-addr :PORT] [-membudget B] [-maxqueue N] [-workers N]
 //
-// split rewrites one database into N shard databases (R partitioned
-// round-robin, S replicated) plus a shard-map file; serve -shard-map
-// mounts them behind the scatter-gather router instead of a single
-// mapped store.
+// index bulk-loads persistent per-partition B-tree indexes into an
+// existing database's segments (create -index does it at creation
+// time); an indexed store unlocks the index-nl and index-merge join
+// paths, and the planner considers them for -alg auto. split rewrites
+// one database into N shard databases (R partitioned round-robin, S
+// replicated) plus a shard-map file; serve -shard-map mounts them
+// behind the scatter-gather router instead of a single mapped store.
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"mmjoin/internal/exec"
 	"mmjoin/internal/join"
 	"mmjoin/internal/machine"
 	"mmjoin/internal/model"
@@ -47,6 +52,8 @@ func main() {
 	switch os.Args[1] {
 	case "create":
 		cmdCreate(os.Args[2:])
+	case "index":
+		cmdIndex(os.Args[2:])
 	case "join":
 		cmdJoin(os.Args[2:])
 	case "bench":
@@ -63,7 +70,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mmdb create|join|bench|verify|split|serve [flags]")
+	fmt.Fprintln(os.Stderr, "usage: mmdb create|index|join|bench|verify|split|serve [flags]")
 	os.Exit(2)
 }
 
@@ -182,9 +189,19 @@ func openRouter(mapPath string, workers, calOps int) (*shard.Router, error) {
 	if calOps <= 0 {
 		calOps = 400
 	}
-	pl := planner.New(model.Calibrate(mcfg, calOps, 1), nil)
+	calib := model.Calibrate(mcfg, calOps, 1)
+	pl := planner.New(calib, nil)
+	plIdx := planner.New(calib, planner.IndexAlgorithms)
+	// The router is captured so each plan call can consult the live
+	// Indexed stat: index plans are only proposed when every shard can
+	// execute them (Indexed is the AND over live shards).
+	var r *shard.Router
 	planFn := func(id string, w *relation.Workload, req mstore.JoinRequest) (join.Algorithm, error) {
-		choice, err := pl.ChooseFor(join.Request{
+		p := pl
+		if r != nil && r.Stats().Indexed {
+			p = plIdx
+		}
+		choice, err := p.ChooseFor(join.Request{
 			Config: mcfg,
 			Params: join.Params{Workload: w, MRproc: req.MRproc, K: req.K},
 		})
@@ -193,11 +210,12 @@ func openRouter(mapPath string, workers, calOps int) (*shard.Router, error) {
 		}
 		return choice.Best.Algorithm, nil
 	}
-	return shard.Open(m, shard.Config{
+	r, err = shard.Open(m, shard.Config{
 		MapPath:         mapPath,
 		WorkersPerShard: workers,
 		PlanFunc:        planFn,
 	})
+	return r, err
 }
 
 func cmdVerify(args []string) {
@@ -230,6 +248,8 @@ func cmdCreate(args []string) {
 	d := fs.Int("d", 4, "partitions")
 	objSize := fs.Int("objsize", 128, "object size in bytes")
 	seed := fs.Int64("seed", 1, "workload seed")
+	index := fs.Bool("index", false, "bulk-load persistent B-tree indexes after creation")
+	workers := fs.Int("workers", 0, "bulk-load parallelism (0: GOMAXPROCS; with -index)")
 	fs.Parse(args)
 	if *dir == "" {
 		fatal(fmt.Errorf("create: -dir required"))
@@ -242,17 +262,61 @@ func cmdCreate(args []string) {
 	defer db.Close()
 	fmt.Printf("created %d R + %d S objects (%d B each) over %d segment pairs in %v\n",
 		*objects, *objects, *objSize, *d, time.Since(start).Round(time.Millisecond))
+	if *index {
+		buildIndexes(db, *workers)
+	}
 }
 
-// realAlgorithms are the pointer-based plans the mapped store executes.
+// buildIndexes bulk-loads the persistent indexes on a pool of the given
+// size and prints the build time — the amortization denominator the
+// bench index panel reports.
+func buildIndexes(db *mstore.DB, workers int) {
+	p := exec.NewPool(workers)
+	defer p.Close()
+	start := time.Now()
+	if err := db.BuildIndexes(context.Background(), p); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("indexed %d R + %d S objects over %d B-tree pairs in %v\n",
+		db.CountR(), db.CountS(), db.D, time.Since(start).Round(time.Millisecond))
+}
+
+func cmdIndex(args []string) {
+	fs := flag.NewFlagSet("index", flag.ExitOnError)
+	dir := fs.String("dir", "", "database directory")
+	d := fs.Int("d", 4, "partitions the database was created with")
+	workers := fs.Int("workers", 0, "bulk-load parallelism (0: GOMAXPROCS)")
+	fs.Parse(args)
+	if *dir == "" {
+		fatal(fmt.Errorf("index: -dir required"))
+	}
+	db, err := mstore.OpenDB(*dir, *d)
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+	if db.HasIndexes() {
+		fmt.Println("already indexed")
+		return
+	}
+	buildIndexes(db, *workers)
+	if err := db.VerifyIndexes(); err != nil {
+		fatal(err)
+	}
+}
+
+// realAlgorithms are the pointer-based plans the mapped store executes;
+// indexAlgorithms are the additional plans an indexed store unlocks.
 var realAlgorithms = []join.Algorithm{
 	join.NestedLoops, join.SortMerge, join.Grace, join.HybridHash,
 }
 
+var indexAlgorithms = []join.Algorithm{join.IndexNL, join.IndexMerge}
+
 func cmdJoin(args []string) {
 	fs := flag.NewFlagSet("join", flag.ExitOnError)
 	dir := fs.String("dir", "", "database directory")
-	alg := fs.String("alg", "all", "algorithm: all, auto (planner-chosen), nested-loops, sort-merge, grace, hybrid-hash")
+	alg := fs.String("alg", "all", "algorithm: all, auto (planner-chosen), nested-loops, sort-merge, grace, hybrid-hash, index-nl, index-merge")
 	d := fs.Int("d", 4, "partitions the database was created with")
 	k := fs.Int("k", 0, "Grace bucket count (0: derive from -mrproc)")
 	mrproc := fs.Int64("mrproc", 1<<20, "private memory grant per partition goroutine, bytes")
@@ -288,14 +352,19 @@ func cmdJoin(args []string) {
 	}
 	if *alg == "auto" {
 		// Cost this exact database (its measured pointer distribution)
-		// through the calibrated analytical model and run the winner.
+		// through the calibrated analytical model and run the winner; an
+		// indexed store widens the candidate set with the index paths.
 		w, err := db.Workload()
 		if err != nil {
 			fatal(err)
 		}
 		mcfg := machine.DefaultConfig()
 		mcfg.D = *d
-		choice, err := planner.New(model.Calibrate(mcfg, 400, 1), nil).ChooseFor(join.Request{
+		var algs []join.Algorithm
+		if db.HasIndexes() {
+			algs = planner.IndexAlgorithms
+		}
+		choice, err := planner.New(model.Calibrate(mcfg, 400, 1), algs).ChooseFor(join.Request{
 			Config: mcfg,
 			Params: join.Params{Workload: w, MRproc: *mrproc, K: *k, RadixBits: *radixBits},
 		})
@@ -308,7 +377,11 @@ func cmdJoin(args []string) {
 		run(choice.Best.Algorithm)
 		return
 	}
-	for _, a := range realAlgorithms {
+	all := realAlgorithms
+	if db.HasIndexes() {
+		all = append(append([]join.Algorithm(nil), all...), indexAlgorithms...)
+	}
+	for _, a := range all {
 		if *alg == "all" || *alg == a.String() {
 			run(a)
 		}
@@ -333,7 +406,11 @@ func cmdBench(args []string) {
 	}
 	defer db.Close()
 
-	for _, a := range realAlgorithms {
+	algs := realAlgorithms
+	if db.HasIndexes() {
+		algs = append(append([]join.Algorithm(nil), algs...), indexAlgorithms...)
+	}
+	for _, a := range algs {
 		best := time.Duration(1<<63 - 1)
 		for r := 0; r < *runs; r++ {
 			start := time.Now()

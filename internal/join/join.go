@@ -50,6 +50,15 @@ const (
 	// it, and so both relations must be hash-partitioned — the baseline
 	// quantifying what the pointer attribute saves.
 	TraditionalGrace
+	// IndexNL is the index-nested-loop join over the real store's
+	// persistent per-partition B-trees: each R object's join attribute
+	// probes S's index by a root-to-leaf descent, no transient probe
+	// state. Real-store only (mstore); the simulator has no indexes.
+	IndexNL
+	// IndexMerge is the sorted-range merge join over the same indexes:
+	// both sides' leaf chains are zipped partition-locally, MPSM-style,
+	// with no global merge barrier. Real-store only (mstore).
+	IndexMerge
 )
 
 func (a Algorithm) String() string {
@@ -66,6 +75,10 @@ func (a Algorithm) String() string {
 		return "hybrid-hash"
 	case TraditionalGrace:
 		return "traditional-grace"
+	case IndexNL:
+		return "index-nl"
+	case IndexMerge:
+		return "index-merge"
 	}
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }

@@ -32,6 +32,8 @@ type Request struct {
 func (req *Request) Validate() error {
 	switch req.Algorithm {
 	case NestedLoops, SortMerge, Grace, HybridHash, TraditionalGrace:
+	case IndexNL, IndexMerge:
+		return fmt.Errorf("join: %v runs only on the real store's persistent indexes (mstore), not the simulator", req.Algorithm)
 	default:
 		return fmt.Errorf("join: unknown algorithm %v", req.Algorithm)
 	}

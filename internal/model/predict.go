@@ -39,6 +39,12 @@ type Inputs struct {
 	// keeps every paper-conformance prediction (K ≤ 256) untouched.
 	RadixBits int
 
+	// IndexFanout is the per-node key capacity of the store's persistent
+	// B-tree indexes, used by the index-path predictions. Zero selects
+	// the executor's 4 KiB-node capacity (253 keys; see
+	// mstore.indexNodeBytes and btMaxKeys).
+	IndexFanout int
+
 	// ColdSproc selects the paper's literal §5.3 formula, which charges
 	// pass 1's Si faults as if the Sproc buffer were cold. The default
 	// (false) applies a warm-continuation refinement: passes 0 and 1 are
@@ -75,6 +81,12 @@ func (in *Inputs) withDefaults(c Calibration) error {
 	}
 	if in.RadixBits > 16 {
 		in.RadixBits = 16
+	}
+	if in.IndexFanout < 0 {
+		return fmt.Errorf("model: negative index fanout %d", in.IndexFanout)
+	}
+	if in.IndexFanout == 0 {
+		in.IndexFanout = 253 // btMaxKeys(4096), the executor's node size
 	}
 	return nil
 }

@@ -13,7 +13,12 @@ import (
 // implemented as efficiently and effectively in this environment").
 //
 // Keys are uint64; values are virtual pointers (Ptr), typically into a
-// relation in the same or another segment. Duplicate keys are rejected.
+// relation in the same or another segment. Duplicate keys are supported
+// through posting chains: the tree's key array stays strictly unique
+// (descent and split logic never see duplicates), and a key with more
+// than one value stores a btChainTag-tagged pointer to a chain of
+// fixed-capacity posting blocks instead of a direct value. Values must
+// therefore leave the tag bit clear, which every segment offset does.
 type BTree struct {
 	seg       *Segment
 	hdr       Ptr
@@ -39,6 +44,16 @@ const (
 // refs[0..count-1] are values; for internal nodes refs[0..count] are
 // children.
 const nodeHdrBytes = 16
+
+// Posting chains: a leaf ref with btChainTag set points at a chain of
+// posting blocks (next Ptr, count u32, pad u32, btPostCap values) that
+// hold every value stored under one duplicated key. One cache line per
+// block.
+const (
+	btChainTag  = Ptr(1) << 63
+	btPostCap   = 6
+	btPostBytes = 16 + 8*btPostCap
+)
 
 // btMaxKeys sizes the key array so a node can briefly hold maxKeys+1
 // keys and maxKeys+2 refs while an overflow is being split:
@@ -92,7 +107,8 @@ func OpenBTree(seg *Segment, hdr Ptr) (*BTree, error) {
 // Head returns the tree's persistent header pointer.
 func (t *BTree) Head() Ptr { return t.hdr }
 
-// Len returns the number of stored keys.
+// Len returns the number of stored values (a duplicated key counts once
+// per chained value).
 func (t *BTree) Len() int { return int(t.seg.U64(t.hdr + btOffCount)) }
 
 func (t *BTree) root() Ptr       { return Ptr(t.seg.U64(t.hdr + btOffRoot)) }
@@ -137,6 +153,109 @@ func (t *BTree) setRefAt(n Ptr, i int, v Ptr) {
 	t.seg.PutU64(t.refBase(n)+Ptr(8*i), uint64(v))
 }
 
+// Posting-chain accessors.
+
+func (t *BTree) postNext(blk Ptr) Ptr      { return Ptr(t.seg.U64(blk)) }
+func (t *BTree) postCount(blk Ptr) int     { return int(t.seg.U32(blk + 8)) }
+func (t *BTree) postVal(blk Ptr, i int) Ptr {
+	return Ptr(t.seg.U64(blk + 16 + Ptr(8*i)))
+}
+
+// newPostBlock allocates a posting block holding vals with the given
+// successor.
+func (t *BTree) newPostBlock(next Ptr, vals ...Ptr) (Ptr, error) {
+	blk, err := t.seg.Alloc(btPostBytes)
+	if err != nil {
+		return 0, err
+	}
+	t.seg.PutU64(blk, uint64(next))
+	t.seg.PutU32(blk+8, uint32(len(vals)))
+	t.seg.PutU32(blk+12, 0)
+	for i, v := range vals {
+		t.seg.PutU64(blk+16+Ptr(8*i), uint64(v))
+	}
+	return blk, nil
+}
+
+// appendChain adds v to the values of leaf entry i (a duplicate insert):
+// a direct value becomes a two-value chain, a chain grows in its head
+// block or gains a new head. The order is deterministic for a given
+// insertion sequence but otherwise unspecified — join folds are
+// commutative, so consumers never depend on it.
+func (t *BTree) appendChain(n Ptr, i int, v Ptr) error {
+	ref := t.refAt(n, i)
+	if ref&btChainTag == 0 {
+		blk, err := t.newPostBlock(0, ref, v)
+		if err != nil {
+			return err
+		}
+		t.setRefAt(n, i, blk|btChainTag)
+		return nil
+	}
+	head := ref &^ btChainTag
+	if c := t.postCount(head); c < btPostCap {
+		t.seg.PutU64(head+16+Ptr(8*c), uint64(v))
+		t.seg.PutU32(head+8, uint32(c+1))
+		return nil
+	}
+	blk, err := t.newPostBlock(head, v)
+	if err != nil {
+		return err
+	}
+	t.setRefAt(n, i, blk|btChainTag)
+	return nil
+}
+
+// forEachValue calls fn for every value stored under one leaf ref — the
+// direct value, or every posting-chain member — stopping early if fn
+// returns false; it reports whether the walk ran to completion.
+func (t *BTree) forEachValue(ref Ptr, fn func(v Ptr) bool) bool {
+	if ref&btChainTag == 0 {
+		return fn(ref)
+	}
+	for blk := ref &^ btChainTag; blk != 0; blk = t.postNext(blk) {
+		for i, c := 0, t.postCount(blk); i < c; i++ {
+			if !fn(t.postVal(blk, i)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// firstValue returns the first value under a leaf ref.
+func (t *BTree) firstValue(ref Ptr) Ptr {
+	if ref&btChainTag == 0 {
+		return ref
+	}
+	return t.postVal(ref&^btChainTag, 0)
+}
+
+// chainLen counts the values stored under a leaf ref.
+func (t *BTree) chainLen(ref Ptr) int {
+	if ref&btChainTag == 0 {
+		return 1
+	}
+	n := 0
+	for blk := ref &^ btChainTag; blk != 0; blk = t.postNext(blk) {
+		n += t.postCount(blk)
+	}
+	return n
+}
+
+// freeChain returns a ref's posting blocks to the allocator.
+func (t *BTree) freeChain(ref Ptr) {
+	if ref&btChainTag == 0 {
+		return
+	}
+	blk := ref &^ btChainTag
+	for blk != 0 {
+		next := t.postNext(blk)
+		t.seg.Free(blk, btPostBytes)
+		blk = next
+	}
+}
+
 // search returns the index of the first key ≥ k in node n.
 func (t *BTree) search(n Ptr, k uint64) int {
 	lo, hi := 0, t.count(n)
@@ -151,7 +270,8 @@ func (t *BTree) search(n Ptr, k uint64) int {
 	return lo
 }
 
-// Get returns the value stored under k.
+// Get returns a value stored under k (the first in chain order when the
+// key holds several).
 func (t *BTree) Get(k uint64) (Ptr, bool) {
 	n := t.root()
 	for !t.isLeaf(n) {
@@ -163,13 +283,36 @@ func (t *BTree) Get(k uint64) (Ptr, bool) {
 	}
 	i := t.search(n, k)
 	if i < t.count(n) && t.keyAt(n, i) == k {
-		return t.refAt(n, i), true
+		return t.firstValue(t.refAt(n, i)), true
 	}
 	return 0, false
 }
 
-// Insert stores v under k, rejecting duplicates.
+// Postings calls fn for every value stored under k, stopping early if fn
+// returns false; it reports whether k was present.
+func (t *BTree) Postings(k uint64, fn func(v Ptr) bool) bool {
+	n := t.root()
+	for !t.isLeaf(n) {
+		i := t.search(n, k)
+		if i < t.count(n) && t.keyAt(n, i) == k {
+			i++
+		}
+		n = t.refAt(n, i)
+	}
+	i := t.search(n, k)
+	if i >= t.count(n) || t.keyAt(n, i) != k {
+		return false
+	}
+	t.forEachValue(t.refAt(n, i), fn)
+	return true
+}
+
+// Insert stores v under k; duplicate keys extend the key's posting
+// chain.
 func (t *BTree) Insert(k uint64, v Ptr) error {
+	if v&btChainTag != 0 {
+		return fmt.Errorf("mstore: btree value %d has the chain tag bit set", v)
+	}
 	root := t.root()
 	promoted, newRight, grew, err := t.insert(root, k, v)
 	if err != nil {
@@ -196,7 +339,7 @@ func (t *BTree) insert(n Ptr, k uint64, v Ptr) (promoted uint64, right Ptr, grew
 	if t.isLeaf(n) {
 		i := t.search(n, k)
 		if i < t.count(n) && t.keyAt(n, i) == k {
-			return 0, 0, false, fmt.Errorf("mstore: duplicate btree key %d", k)
+			return 0, 0, false, t.appendChain(n, i, v)
 		}
 		t.shiftIn(n, i, k, Ptr(v), true)
 		if t.count(n) <= t.maxKeys {
@@ -206,7 +349,7 @@ func (t *BTree) insert(n Ptr, k uint64, v Ptr) (promoted uint64, right Ptr, grew
 	}
 	i := t.search(n, k)
 	if i < t.count(n) && t.keyAt(n, i) == k {
-		return 0, 0, false, fmt.Errorf("mstore: duplicate btree key %d", k)
+		i++ // equal keys route right, like Get
 	}
 	childPromoted, childRight, childGrew, err := t.insert(t.refAt(n, i), k, v)
 	if err != nil {
@@ -284,8 +427,30 @@ func (t *BTree) splitInternal(n Ptr) (uint64, Ptr, bool, error) {
 }
 
 // Range calls fn for every (key, value) with lo ≤ key ≤ hi in ascending
-// order, stopping early if fn returns false.
+// key order (a duplicated key yields one call per chained value),
+// stopping early if fn returns false.
 func (t *BTree) Range(lo, hi uint64, fn func(k uint64, v Ptr) bool) {
+	for it := t.iter(lo, hi); it.valid(); it.advance() {
+		k := it.key()
+		if !t.forEachValue(it.ref(), func(v Ptr) bool { return fn(k, v) }) {
+			return
+		}
+	}
+}
+
+// btIter streams the leaf-chain entries of [lo, hi] in ascending key
+// order: one entry per distinct key, with ref() exposing the raw leaf
+// ref (expand duplicates through forEachValue). It is the cursor the
+// index-merge join zips two trees with.
+type btIter struct {
+	t  *BTree
+	n  Ptr
+	i  int
+	hi uint64
+}
+
+// iter positions a cursor at the first key ≥ lo.
+func (t *BTree) iter(lo, hi uint64) btIter {
 	n := t.root()
 	for !t.isLeaf(n) {
 		i := t.search(n, lo)
@@ -294,26 +459,36 @@ func (t *BTree) Range(lo, hi uint64, fn func(k uint64, v Ptr) bool) {
 		}
 		n = t.refAt(n, i)
 	}
-	for n != 0 {
-		c := t.count(n)
-		for i := t.search(n, lo); i < c; i++ {
-			k := t.keyAt(n, i)
-			if k > hi {
-				return
-			}
-			if !fn(k, t.refAt(n, i)) {
-				return
-			}
-		}
-		n = t.next(n)
+	it := btIter{t: t, n: n, i: t.search(n, lo), hi: hi}
+	it.norm()
+	return it
+}
+
+// norm skips exhausted leaves and clamps at hi.
+func (it *btIter) norm() {
+	for it.n != 0 && it.i >= it.t.count(it.n) {
+		it.n = it.t.next(it.n)
+		it.i = 0
+	}
+	if it.n != 0 && it.t.keyAt(it.n, it.i) > it.hi {
+		it.n = 0
 	}
 }
 
-// Delete removes k, returning false if it was absent. Underfull nodes
-// are repaired by borrowing from or merging with a sibling.
+func (it *btIter) valid() bool { return it.n != 0 }
+func (it *btIter) key() uint64 { return it.t.keyAt(it.n, it.i) }
+func (it *btIter) ref() Ptr    { return it.t.refAt(it.n, it.i) }
+func (it *btIter) advance() {
+	it.i++
+	it.norm()
+}
+
+// Delete removes k and every value chained under it, returning false if
+// the key was absent. Underfull nodes are repaired by borrowing from or
+// merging with a sibling.
 func (t *BTree) Delete(k uint64) bool {
-	deleted := t.delete(t.root(), k)
-	if !deleted {
+	removed := t.delete(t.root(), k)
+	if removed == 0 {
 		return false
 	}
 	root := t.root()
@@ -322,38 +497,44 @@ func (t *BTree) Delete(k uint64) bool {
 		t.setRoot(t.refAt(root, 0))
 		t.seg.Free(old, int64(t.nodeBytes))
 	}
-	t.bumpCount(-1)
+	t.bumpCount(-removed)
 	return true
 }
 
 func (t *BTree) minKeys() int { return t.maxKeys / 2 }
 
-func (t *BTree) delete(n Ptr, k uint64) bool {
+// delete removes k below n and returns the number of values removed (0
+// when k was absent — chained values all go with their key).
+func (t *BTree) delete(n Ptr, k uint64) int {
 	if t.isLeaf(n) {
 		i := t.search(n, k)
 		if i >= t.count(n) || t.keyAt(n, i) != k {
-			return false
+			return 0
 		}
+		ref := t.refAt(n, i)
+		removed := t.chainLen(ref)
+		t.freeChain(ref)
 		c := t.count(n)
 		for j := i; j < c-1; j++ {
 			t.setKeyAt(n, j, t.keyAt(n, j+1))
 			t.setRefAt(n, j, t.refAt(n, j+1))
 		}
 		t.setCount(n, c-1)
-		return true
+		return removed
 	}
 	i := t.search(n, k)
 	if i < t.count(n) && t.keyAt(n, i) == k {
 		i++
 	}
 	child := t.refAt(n, i)
-	if !t.delete(child, k) {
-		return false
+	removed := t.delete(child, k)
+	if removed == 0 {
+		return 0
 	}
 	if t.count(child) < t.minKeys() {
 		t.rebalance(n, i)
 	}
-	return true
+	return removed
 }
 
 // rebalance repairs the underfull child at position i of parent n.
@@ -465,8 +646,9 @@ func (t *BTree) merge(n Ptr, i int) {
 }
 
 // Verify checks structural invariants (key order within nodes, leaf
-// chain order, and count consistency) and returns the first violation.
-// It is exported for tests and integrity checks.
+// chain order, posting-chain block bounds, and count consistency) and
+// returns the first violation. It is exported for tests and integrity
+// checks.
 func (t *BTree) Verify() error {
 	seen := 0
 	prev := uint64(0)
@@ -479,11 +661,20 @@ func (t *BTree) Verify() error {
 				return fmt.Errorf("mstore: btree keys out of order at %d", k)
 			}
 			prev, first = k, false
-			seen++
+			ref := t.refAt(n, i)
+			if ref&btChainTag != 0 {
+				for blk := ref &^ btChainTag; blk != 0; blk = t.postNext(blk) {
+					pc := t.postCount(blk)
+					if pc < 1 || pc > btPostCap {
+						return fmt.Errorf("mstore: btree posting block for key %d holds %d values", k, pc)
+					}
+				}
+			}
+			seen += t.chainLen(ref)
 		}
 	}
 	if seen != t.Len() {
-		return fmt.Errorf("mstore: btree count %d but %d keys reachable", t.Len(), seen)
+		return fmt.Errorf("mstore: btree count %d but %d values reachable", t.Len(), seen)
 	}
 	return nil
 }

@@ -59,16 +59,108 @@ func TestBTreeInsertGet(t *testing.T) {
 	}
 }
 
-func TestBTreeDuplicateRejected(t *testing.T) {
+func TestBTreeDuplicateChains(t *testing.T) {
 	_, tree := newTreeSeg(t, 128)
-	if err := tree.Insert(7, 1); err != nil {
+	// Pile enough values on one key to force direct ref → chain block →
+	// multi-block chain transitions (btPostCap per block).
+	const dups = 3*btPostCap + 2
+	for v := Ptr(1); v <= dups; v++ {
+		if err := tree.Insert(7, v*8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tree.Len() != dups {
+		t.Errorf("Len = %d, want %d", tree.Len(), dups)
+	}
+	if err := tree.Verify(); err != nil {
 		t.Fatal(err)
 	}
-	if err := tree.Insert(7, 2); err == nil {
-		t.Error("duplicate accepted")
+	got := map[Ptr]bool{}
+	tree.Postings(7, func(v Ptr) bool {
+		if got[v] {
+			t.Fatalf("value %d visited twice", v)
+		}
+		got[v] = true
+		return true
+	})
+	if len(got) != dups {
+		t.Fatalf("Postings visited %d values, want %d", len(got), dups)
 	}
-	if tree.Len() != 1 {
-		t.Errorf("Len = %d after duplicate", tree.Len())
+	for v := Ptr(1); v <= dups; v++ {
+		if !got[v*8] {
+			t.Fatalf("value %d missing from chain", v*8)
+		}
+	}
+	// Get returns some chained value; Range expands the chain, one
+	// callback per stored value.
+	if v, ok := tree.Get(7); !ok || !got[v] {
+		t.Errorf("Get(7) = %d,%v", v, ok)
+	}
+	visits := 0
+	tree.Range(0, 100, func(k uint64, v Ptr) bool {
+		visits++
+		return true
+	})
+	if visits != dups {
+		t.Errorf("Range visited %d values, want %d", visits, dups)
+	}
+	// Delete removes the whole chain at once.
+	if !tree.Delete(7) {
+		t.Fatal("Delete(7) failed")
+	}
+	if tree.Len() != 0 {
+		t.Errorf("Len = %d after chain delete", tree.Len())
+	}
+	if _, ok := tree.Get(7); ok {
+		t.Error("Get(7) after delete")
+	}
+	// A tagged value (chain bit set) must still be rejected.
+	if err := tree.Insert(9, btChainTag|64); err == nil {
+		t.Error("tagged value accepted")
+	}
+}
+
+// TestBTreeDuplicateZipf drives a Zipf-skewed key set — a few keys carry
+// long chains, most are singletons — through insert/lookup/range, the
+// regression shape for index builds over R's duplicate-heavy join keys.
+func TestBTreeDuplicateZipf(t *testing.T) {
+	_, tree := newTreeSeg(t, 128)
+	rng := rand.New(rand.NewSource(41))
+	zipf := rand.NewZipf(rng, 1.3, 4, 511)
+	ref := map[uint64]int{}
+	for i := 0; i < 6000; i++ {
+		k := zipf.Uint64()
+		if err := tree.Insert(k, Ptr(8*(i+8))); err != nil {
+			t.Fatal(err)
+		}
+		ref[k]++
+	}
+	if err := tree.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 6000 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	for k, want := range ref {
+		n := 0
+		tree.Postings(k, func(Ptr) bool { n++; return true })
+		if n != want {
+			t.Fatalf("key %d: %d values, want %d", k, n, want)
+		}
+	}
+	// Range expands every chain: 6000 callbacks, keys non-decreasing.
+	var seen []uint64
+	tree.Range(0, 1<<62, func(k uint64, v Ptr) bool {
+		seen = append(seen, k)
+		return true
+	})
+	if len(seen) != 6000 {
+		t.Fatalf("Range visited %d values, want 6000", len(seen))
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i] < seen[i-1] {
+			t.Fatalf("Range out of order at %d", i)
+		}
 	}
 }
 
@@ -201,41 +293,45 @@ func TestQuickBTreeMatchesMap(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		ref := map[uint64]Ptr{}
+		ref := map[uint64][]Ptr{}
+		total := 0
 		for _, op := range ops {
 			k := uint64(op) % 256
 			if op >= 0 {
-				v := Ptr(op + 1)
-				err := tree.Insert(k, v)
-				if _, dup := ref[k]; dup {
-					if err == nil {
-						return false // duplicate must be rejected
-					}
-				} else {
-					if err != nil {
-						return false
-					}
-					ref[k] = v
-				}
-			} else {
-				got := tree.Delete(k)
-				_, had := ref[k]
-				if got != had {
+				v := Ptr(8 * (int64(op) + 8)) // untagged, duplicates allowed
+				if tree.Insert(k, v) != nil {
 					return false
 				}
+				ref[k] = append(ref[k], v)
+				total++
+			} else {
+				got := tree.Delete(k)
+				if got != (len(ref[k]) > 0) {
+					return false
+				}
+				total -= len(ref[k])
 				delete(ref, k)
 			}
 		}
-		if tree.Len() != len(ref) {
+		if tree.Len() != total {
 			return false
 		}
 		if tree.Verify() != nil {
 			return false
 		}
-		for k, v := range ref {
-			got, ok := tree.Get(k)
-			if !ok || got != v {
-				return false
+		for k, vals := range ref {
+			want := map[Ptr]int{}
+			for _, v := range vals {
+				want[v]++
+			}
+			tree.Postings(k, func(v Ptr) bool {
+				want[v]--
+				return true
+			})
+			for _, n := range want {
+				if n != 0 {
+					return false
+				}
 			}
 		}
 		return true

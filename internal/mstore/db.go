@@ -18,6 +18,10 @@ type DB struct {
 	D       int
 	ObjSize int
 	R, S    []*Relation
+
+	// Per-partition B-tree indexes (index.go); attached all-or-nothing
+	// by OpenDB/BuildIndexes, nil on an unindexed store.
+	ridx, sidx []*BTree
 }
 
 // ridOffset is where the 8-byte R id lives inside an R object, right
@@ -127,6 +131,7 @@ func OpenDB(dir string, d int) (*DB, error) {
 		db.R = append(db.R, rel)
 		db.ObjSize = rel.ObjSize()
 	}
+	db.attachIndexes()
 	return db, nil
 }
 
@@ -145,6 +150,7 @@ func (db *DB) Close() error {
 		}
 	}
 	db.R, db.S = nil, nil
+	db.ridx, db.sidx = nil, nil
 	return first
 }
 

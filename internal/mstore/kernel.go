@@ -107,8 +107,15 @@ func (k *joinKernel) newBatch() joinBatch { return joinBatch{k: k} }
 // add queues one R object's pair; obj must be an R-layout record
 // (S-pointer then R id).
 func (b *joinBatch) add(obj []byte, st *JoinStats) {
-	b.ptr[b.n] = DecodeSPtr(obj)
-	b.rid[b.n] = binary.LittleEndian.Uint64(obj[ridOffset:])
+	b.addPair(binary.LittleEndian.Uint64(obj[ridOffset:]), DecodeSPtr(obj), st)
+}
+
+// addPair queues one already-decoded (rid, S-pointer) pair — the entry
+// point for the index operators, whose probes yield S locations without
+// an R-layout record in hand.
+func (b *joinBatch) addPair(rid uint64, p SPtr, st *JoinStats) {
+	b.ptr[b.n] = p
+	b.rid[b.n] = rid
 	b.n++
 	if b.n >= b.k.batch {
 		b.flush(st)

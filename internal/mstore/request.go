@@ -16,8 +16,10 @@ import (
 // real-join are configured with the same words:
 //
 //   - Algorithm is a join.Algorithm; the real store executes
-//     NestedLoops, SortMerge, Grace, and HybridHash (TraditionalGrace
-//     exists only as an analytical baseline in the simulator).
+//     NestedLoops, SortMerge, Grace, and HybridHash, plus IndexNL and
+//     IndexMerge when the store carries persistent indexes
+//     (TraditionalGrace exists only as an analytical baseline in the
+//     simulator).
 //   - MRproc is the per-goroutine private-memory grant in bytes, the
 //     real-store analogue of join.Params.MRproc. Grace derives its
 //     bucket count K from it with the simulator's rule
@@ -110,6 +112,10 @@ type JoinRequest struct {
 func (req *JoinRequest) withDefaults(db *DB) error {
 	switch req.Algorithm {
 	case join.NestedLoops, join.SortMerge, join.Grace, join.HybridHash:
+	case join.IndexNL, join.IndexMerge:
+		if !db.HasIndexes() {
+			return fmt.Errorf("mstore: %v needs persistent indexes (build them with mmdb index, or BuildIndexes)", req.Algorithm)
+		}
 	case join.TraditionalGrace:
 		return fmt.Errorf("mstore: %v is an analytical baseline; the store executes pointer-based plans only", req.Algorithm)
 	case join.Auto:
@@ -266,6 +272,14 @@ func (db *DB) Run(req JoinRequest) (JoinStats, error) {
 		lim := newMemLimiter(req.grantBudget(db), req.Negotiator, req.Telemetry)
 		defer lim.close()
 		return db.grace(ctx, p, req.TmpDir, req.K, kc, lim)
+	case join.IndexNL:
+		lim := newMemLimiter(req.grantBudget(db), req.Negotiator, req.Telemetry)
+		defer lim.close()
+		return db.indexNL(ctx, p, kc, lim)
+	case join.IndexMerge:
+		lim := newMemLimiter(req.grantBudget(db), req.Negotiator, req.Telemetry)
+		defer lim.close()
+		return db.indexMerge(ctx, p, kc, lim)
 	default: // join.HybridHash, by withDefaults
 		lim := newMemLimiter(req.grantBudget(db), req.Negotiator, req.Telemetry)
 		defer lim.close()

@@ -1,0 +1,167 @@
+package mstore
+
+import (
+	"context"
+	"math/rand"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"mmjoin/internal/exec"
+)
+
+// spatialPairSet collects (a.Item, b.Item) pairs as a multiset keyed by
+// the two virtual pointers — the order-insensitive result shape both
+// join variants must agree on.
+type spatialPair struct{ a, b Ptr }
+
+func bruteSpatialJoin(as, bs []SpatialEntry) map[spatialPair]int {
+	out := map[spatialPair]int{}
+	for _, ea := range as {
+		for _, eb := range bs {
+			if ea.Rect.Intersects(eb.Rect) {
+				out[spatialPair{ea.Item, eb.Item}]++
+			}
+		}
+	}
+	return out
+}
+
+func buildRTreePair(t *testing.T, na, nb, fa, fb int, seed int64) (*RTree, *RTree, []SpatialEntry, []SpatialEntry) {
+	t.Helper()
+	s, err := Create(filepath.Join(t.TempDir(), "rtj"), 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	rng := rand.New(rand.NewSource(seed))
+	mk := func(n int, base Ptr) ([]SpatialEntry, []SpatialEntry) {
+		entries := make([]SpatialEntry, n)
+		for i := range entries {
+			x, y := rng.Float64()*500, rng.Float64()*500
+			entries[i] = SpatialEntry{
+				Rect: Rect{MinX: x, MinY: y, MaxX: x + rng.Float64()*15, MaxY: y + rng.Float64()*15},
+				Item: base + Ptr(i),
+			}
+		}
+		return entries, append([]SpatialEntry(nil), entries...)
+	}
+	ea, refA := mk(na, 1)
+	eb, refB := mk(nb, 1<<20)
+	ta, err := BuildRTree(s, ea, fa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := BuildRTree(s, eb, fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ta, tb, refA, refB
+}
+
+func TestRTreeIntersectJoinMatchesBruteForce(t *testing.T) {
+	cases := []struct {
+		name           string
+		na, nb, fa, fb int
+		seed           int64
+	}{
+		{"balanced", 900, 900, 8, 8, 1},
+		{"asymmetric-sizes", 40, 2000, 8, 8, 2}, // different heights
+		{"asymmetric-fanout", 600, 600, 4, 16, 3},
+		{"tiny", 3, 5, 8, 8, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ta, tb, refA, refB := buildRTreePair(t, tc.na, tc.nb, tc.fa, tc.fb, tc.seed)
+			want := bruteSpatialJoin(refA, refB)
+			got := map[spatialPair]int{}
+			ta.IntersectJoin(tb, func(a, b SpatialEntry) bool {
+				got[spatialPair{a.Item, b.Item}]++
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("%d distinct pairs, want %d", len(got), len(want))
+			}
+			for k, n := range want {
+				if got[k] != n {
+					t.Fatalf("pair %v reported %d times, want %d", k, got[k], n)
+				}
+			}
+		})
+	}
+}
+
+func TestRTreeIntersectJoinEarlyStop(t *testing.T) {
+	ta, tb, _, _ := buildRTreePair(t, 400, 400, 8, 8, 5)
+	count := 0
+	ta.IntersectJoin(tb, func(a, b SpatialEntry) bool {
+		count++
+		return count < 9
+	})
+	if count != 9 {
+		t.Errorf("early stop visited %d pairs", count)
+	}
+}
+
+func TestRTreeIntersectJoinEmpty(t *testing.T) {
+	s, err := Create(filepath.Join(t.TempDir(), "rtj"), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	empty, err := BuildRTree(s, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := BuildRTree(s, []SpatialEntry{{Rect: Rect{0, 0, 1, 1}, Item: 7}}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]*RTree{{empty, one}, {one, empty}, {empty, empty}} {
+		pair[0].IntersectJoin(pair[1], func(a, b SpatialEntry) bool {
+			t.Error("empty join produced a pair")
+			return false
+		})
+		if err := pair[0].ParallelIntersectJoin(context.Background(), nil, pair[1], func(int, SpatialEntry, SpatialEntry) {
+			t.Error("empty parallel join produced a pair")
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// The parallel descent must report the same pair multiset as the
+// sequential one for every worker count, including under the race
+// detector (per-worker accumulation, folded after the barrier).
+func TestRTreeParallelIntersectJoinGrid(t *testing.T) {
+	ta, tb, refA, refB := buildRTreePair(t, 1200, 1500, 8, 8, 6)
+	want := bruteSpatialJoin(refA, refB)
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		p := exec.NewPool(workers)
+		per := make([]map[spatialPair]int, p.Workers())
+		for i := range per {
+			per[i] = map[spatialPair]int{}
+		}
+		err := ta.ParallelIntersectJoin(context.Background(), p, tb, func(w int, a, b SpatialEntry) {
+			per[w][spatialPair{a.Item, b.Item}]++
+		})
+		p.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[spatialPair]int{}
+		for _, m := range per {
+			for k, n := range m {
+				got[k] += n
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d distinct pairs, want %d", workers, len(got), len(want))
+		}
+		for k, n := range want {
+			if got[k] != n {
+				t.Fatalf("workers=%d: pair %v reported %d times, want %d", workers, k, got[k], n)
+			}
+		}
+	}
+}

@@ -65,6 +65,11 @@ type StoreStats struct {
 	// counting every S replica).
 	NR int `json:"nr"`
 	NS int `json:"ns"`
+	// Indexed reports whether persistent B-tree indexes are attached —
+	// the condition for planning IndexNL/IndexMerge. A sharded store is
+	// indexed only if every live shard is (the planner picks per shard,
+	// but `auto` must never route an index plan at an unindexed shard).
+	Indexed bool `json:"indexed"`
 	// Shards is present only for sharded stores.
 	Shards []ShardInfo `json:"shards,omitempty"`
 }
@@ -117,6 +122,6 @@ var _ Store = (*DB)(nil)
 func (db *DB) Stats() StoreStats {
 	return StoreStats{
 		Kind: "single", Dir: db.Dir, D: db.D, ObjSize: db.ObjSize,
-		NR: db.CountR(), NS: db.CountS(),
+		NR: db.CountR(), NS: db.CountS(), Indexed: db.HasIndexes(),
 	}
 }

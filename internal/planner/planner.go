@@ -39,6 +39,15 @@ var DefaultAlgorithms = []join.Algorithm{
 	join.NestedLoops, join.SortMerge, join.Grace, join.HybridHash,
 }
 
+// IndexAlgorithms are the plans considered for a store with persistent
+// indexes attached: the default set plus the two index paths. Serving
+// layers select this set when Store.Stats().Indexed is true, so `auto`
+// never routes an index plan at a store that cannot execute it.
+var IndexAlgorithms = []join.Algorithm{
+	join.NestedLoops, join.SortMerge, join.Grace, join.HybridHash,
+	join.IndexNL, join.IndexMerge,
+}
+
 // New creates a planner. algs nil selects DefaultAlgorithms.
 func New(calib model.Calibration, algs []join.Algorithm) *Planner {
 	if algs == nil {
@@ -60,6 +69,10 @@ func (pl *Planner) predict(alg join.Algorithm, in model.Inputs) (*model.Predicti
 		return model.PredictHybridHash(pl.calib, in)
 	case join.TraditionalGrace:
 		return model.PredictTraditionalGrace(pl.calib, in)
+	case join.IndexNL:
+		return model.PredictIndexNL(pl.calib, in)
+	case join.IndexMerge:
+		return model.PredictIndexMerge(pl.calib, in)
 	}
 	return nil, fmt.Errorf("planner: unknown algorithm %v", alg)
 }

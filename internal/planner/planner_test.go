@@ -277,3 +277,37 @@ func TestSortedInputsFavorSortMerge(t *testing.T) {
 		t.Errorf("scarce memory + presorted runs: best = %v, want sort-merge", sorted.Best.Algorithm)
 	}
 }
+
+// TestIndexAlgorithmsPickIndexPath: with the widened candidate set an
+// indexed store's planner must route the dense-probe regime (the
+// benchmarked `mmdb join -alg auto` workload) at an index plan, while
+// the default set — what an unindexed store's front-end uses — never
+// proposes one.
+func TestIndexAlgorithmsPickIndexPath(t *testing.T) {
+	calib := testCalib(t)
+	in := model.Inputs{
+		NR: 20480, NS: 20480, R: 128, S: 128, Ptr: 8, D: 4, Skew: 1,
+		MRproc: 1 << 20,
+	}
+	idx := New(calib, IndexAlgorithms)
+	choice, err := idx.Choose(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(choice.Candidates) != len(IndexAlgorithms) {
+		t.Fatalf("%d candidates, want %d", len(choice.Candidates), len(IndexAlgorithms))
+	}
+	if best := choice.Best.Algorithm; best != join.IndexNL && best != join.IndexMerge {
+		t.Errorf("best with indexes = %v, want an index plan", best)
+	}
+
+	def, err := New(calib, nil).Choose(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cand := range def.Candidates {
+		if cand.Algorithm == join.IndexNL || cand.Algorithm == join.IndexMerge {
+			t.Errorf("default candidate set proposes %v", cand.Algorithm)
+		}
+	}
+}

@@ -190,12 +190,19 @@ func New(cfg Config) (*Server, error) {
 	mcfg := machine.DefaultConfig()
 	mcfg.D = cfg.D
 	calib := model.Calibrate(mcfg, cfg.CalibrationOps, 1)
+	// An indexed store widens the candidate set so `auto` can pick the
+	// index paths; an unindexed (or partially indexed, sharded) store
+	// plans over the four staging algorithms only.
+	var algs []join.Algorithm
+	if stats.Indexed {
+		algs = planner.IndexAlgorithms
+	}
 	s := &Server{
 		cfg:      cfg,
 		store:    store,
 		d:        cfg.D,
 		w:        w,
-		pl:       planner.New(calib, nil),
+		pl:       planner.New(calib, algs),
 		sim:      mcfg,
 		adm:      NewAdmission(cfg.MemBudget, cfg.MaxQueue),
 		pool:     exec.NewPool(cfg.Workers),
@@ -474,6 +481,8 @@ func (g grantGrower) TryGrow(bytes int64) bool { return g.adm.TryAcquire(bytes) 
 func (g grantGrower) GiveBack(bytes int64)     { g.adm.Release(bytes) }
 
 // executable maps wire names onto the store's runnable algorithms.
+// index-nl and index-merge parse unconditionally; the store rejects
+// them with a client error when it has no persistent indexes.
 func parseAlgorithm(name string) (join.Algorithm, bool) {
 	switch name {
 	case "nested-loops":
@@ -484,6 +493,10 @@ func parseAlgorithm(name string) (join.Algorithm, bool) {
 		return join.Grace, true
 	case "hybrid-hash":
 		return join.HybridHash, true
+	case "index-nl":
+		return join.IndexNL, true
+	case "index-merge":
+		return join.IndexMerge, true
 	}
 	return 0, false
 }

@@ -506,8 +506,11 @@ func (r *Router) CountS() int {
 func (r *Router) Stats() mstore.StoreStats {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	st := mstore.StoreStats{Kind: "sharded", Dir: r.cfg.MapPath}
+	st := mstore.StoreStats{Kind: "sharded", Dir: r.cfg.MapPath, Indexed: len(r.shards) > 0}
 	for _, h := range r.shards {
+		if !h.db.HasIndexes() {
+			st.Indexed = false
+		}
 		info := mstore.ShardInfo{
 			ID: h.id, Dir: h.dir, D: h.db.D, ObjSize: h.db.ObjSize,
 			NR: h.db.CountR(), NS: h.db.CountS(),
